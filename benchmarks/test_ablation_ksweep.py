@@ -1,0 +1,35 @@
+"""Ablation: k' sweep granularity (DESIGN.md Section 5).
+
+The paper sweeps every k' in 1..k; our default uses a doubling subset on
+large clusters. This bench quantifies what the subset costs in makespan
+and saves in runtime.
+"""
+
+import time
+
+from repro.core.heuristic import DagHetPartConfig, dag_het_part
+from repro.experiments.instances import scaled_cluster_for
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster
+
+
+def _run(strategy):
+    wf = generate_workflow("genome", 150, seed=4)
+    cluster = scaled_cluster_for(wf, default_cluster())
+    start = time.perf_counter()
+    mapping = dag_het_part(wf, cluster,
+                           DagHetPartConfig(k_prime_strategy=strategy))
+    return mapping.makespan(), time.perf_counter() - start
+
+
+def test_ablation_k_sweep(benchmark):
+    (full_ms, full_t) = benchmark.pedantic(
+        _run, args=("all",), rounds=1, iterations=1)
+    doubling_ms, doubling_t = _run("doubling")
+    print(f"\nk' sweep ablation (genome-150, default cluster):")
+    print(f"  all      : makespan={full_ms:9.1f}  time={full_t:6.2f}s")
+    print(f"  doubling : makespan={doubling_ms:9.1f}  time={doubling_t:6.2f}s")
+    # the full sweep can only be better or equal in makespan
+    assert full_ms <= doubling_ms + 1e-9
+    # and the doubling subset must be meaningfully cheaper
+    assert doubling_t < full_t

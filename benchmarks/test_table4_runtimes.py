@@ -1,0 +1,19 @@
+"""Table 4: average relative and absolute running times per workflow set."""
+
+from conftest import bench_kwargs, show
+
+from repro.experiments import figures
+
+
+def test_table4_runtime_summary(benchmark):
+    result = benchmark.pedantic(
+        figures.table4, kwargs=bench_kwargs(), rounds=1, iterations=1)
+    show(result, "Table 4: runtimes of DagHetPart (relative to DagHetMem)")
+    rows = {r["workflow_set"]: r for r in result["rows"]}
+    assert set(rows) <= {"real", "small", "mid", "big"}
+    for r in rows.values():
+        assert r["avg_absolute_runtime_sec"] >= 0.0
+    # the paper's trend: relative runtime falls as workflows grow
+    if "real" in rows and "big" in rows:
+        assert rows["big"]["avg_relative_runtime"] <= \
+            rows["real"]["avg_relative_runtime"]

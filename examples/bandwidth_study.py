@@ -1,0 +1,40 @@
+"""Communication-to-computation study: when does the network matter?
+
+Compares a fan-out-heavy family (BWA) against a chain-like one (SoyKB)
+across interconnect bandwidths — the Fig. 7 experiment on two concrete
+workflows. Fanned-out workflows cut many files when parallelized, so their
+mappings improve sharply with bandwidth; chain-like ones barely react.
+
+Run:  python examples/bandwidth_study.py
+"""
+
+from repro import DagHetPartConfig, dag_het_mem, dag_het_part
+from repro.experiments.instances import scaled_cluster_for
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster
+
+CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
+BETAS = (0.1, 0.5, 1.0, 2.0, 5.0)
+
+
+def main() -> None:
+    print(f"{'family':>12s} {'beta':>6s} {'relative_makespan':>18s}")
+    for family in ("bwa", "soykb"):
+        wf = generate_workflow(family, 300, seed=5)
+        series = []
+        for beta in BETAS:
+            cluster = scaled_cluster_for(wf, default_cluster(bandwidth=beta))
+            base = dag_het_mem(wf, cluster)
+            part = dag_het_part(wf, cluster, CONFIG)
+            rel = 100.0 * part.makespan() / base.makespan()
+            series.append(rel)
+            print(f"{family:>12s} {beta:6.1f} {rel:17.1f}%")
+        swing = max(series) - min(series)
+        print(f"{'':>12s} bandwidth swing for {family}: "
+              f"{swing:.1f} percentage points\n")
+    print("Reading: the fanned-out family reacts much more strongly to "
+          "bandwidth than the chain-like one (Section 5.2.6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Cluster planning for a genomics workflow (the paper's motivating domain).
+
+A lab runs 1000Genome-style population-genetics workflows and wants to know
+whether upgrading from the small (18-node) to the default (36) or large
+(60) cluster is worth it, and how sensitive the answer is to workflow size.
+This reproduces the reasoning behind Fig. 3 (right) on a concrete scenario.
+
+Run:  python examples/genomics_cluster_planning.py
+"""
+
+from repro import DagHetPartConfig, dag_het_mem, dag_het_part
+from repro.experiments.instances import scaled_cluster_for
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster, large_cluster, small_cluster
+
+CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
+
+
+def main() -> None:
+    print(f"{'workflow':>14s} {'cluster':>12s} {'baseline':>10s} "
+          f"{'daghetpart':>10s} {'speedup':>8s} {'blocks':>6s}")
+    for n_tasks in (100, 400, 800):
+        wf = generate_workflow("genome", n_tasks, seed=11)
+        for cluster_factory in (small_cluster, default_cluster, large_cluster):
+            cluster = scaled_cluster_for(wf, cluster_factory())
+            try:
+                base = dag_het_mem(wf, cluster)
+                part = dag_het_part(wf, cluster, CONFIG)
+            except Exception as exc:  # platform too small
+                print(f"{wf.name:>14s} {cluster.name:>12s} "
+                      f"-- no feasible mapping ({type(exc).__name__})")
+                continue
+            part.validate()
+            speedup = base.makespan() / part.makespan()
+            print(f"{wf.name:>14s} {cluster.name:>12s} "
+                  f"{base.makespan():10.1f} {part.makespan():10.1f} "
+                  f"{speedup:7.2f}x {part.n_blocks:6d}")
+    print("\nReading: the speedup of heterogeneity-aware mapping grows with "
+          "both workflow size and cluster size (Fig. 3 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

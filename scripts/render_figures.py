@@ -1,0 +1,78 @@
+"""Render experiments_results.json as ASCII figures.
+
+Companion to ``scripts/run_all_experiments.py``: turns the recorded series
+into the text equivalents of the paper's Figs. 3-9.
+
+Usage: python scripts/render_figures.py [experiments_results.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_plot
+
+
+def main(path: str = "experiments_results.json") -> int:
+    data = json.load(open(path))
+    figs = data["figures"]
+
+    print(ascii_bar_chart(
+        {k: v for k, v in figs["fig3_left"].items()},
+        title="Fig. 3 (left): relative makespan (%) by workflow type"))
+    print()
+
+    series = {}
+    for n_cpus, per_cat in figs["fig3_right"].items():
+        for cat, value in per_cat.items():
+            series.setdefault(cat, {})[float(n_cpus)] = value
+    print(ascii_line_plot(series, title="Fig. 3 (right): relative makespan vs cluster size",
+                          x_label="CPUs", y_label="relative makespan %"))
+    print()
+
+    het_order = {"nohet": 0.0, "lesshet": 1.0, "default": 2.0, "morehet": 3.0}
+    series = {}
+    for level, per_cat in figs["fig4_relative"].items():
+        for cat, value in per_cat.items():
+            series.setdefault(cat, {})[het_order[level]] = value
+    print(ascii_line_plot(
+        series, title="Fig. 4: relative makespan vs heterogeneity "
+                      "(0=nohet 1=lesshet 2=default 3=morehet)",
+        x_label="heterogeneity level", y_label="relative makespan %"))
+    print()
+
+    series = {}
+    for key, value in figs["fig5"].items():
+        family, n = key.rsplit(":", 1)
+        series.setdefault(family, {})[float(n)] = value
+    print(ascii_line_plot(series, title="Fig. 5: relative makespan per family vs size",
+                          x_label="n_tasks", y_label="relative makespan %"))
+    print()
+
+    series = {}
+    for key, value in figs["fig6"].items():
+        family, n = key.rsplit(":", 1)
+        series.setdefault(family, {})[float(n)] = value
+    print(ascii_line_plot(series, title="Fig. 6: absolute DagHetPart makespan per family",
+                          x_label="n_tasks", y_label="makespan"))
+    print()
+
+    series = {}
+    for beta, per_cat in figs["fig7"].items():
+        for cat, value in per_cat.items():
+            series.setdefault(cat, {})[float(beta)] = value
+    print(ascii_line_plot(series, title="Fig. 7: relative makespan vs bandwidth",
+                          x_label="beta", y_label="relative makespan %"))
+    print()
+
+    print(ascii_bar_chart(
+        {cat: row["avg_absolute_runtime_sec"]
+         for cat, row in figs["table4"].items()},
+        title="Fig. 9 / Table 4: avg DagHetPart runtime (s) per workflow set",
+        fmt="{:.2f}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(*sys.argv[1:]))

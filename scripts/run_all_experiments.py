@@ -1,0 +1,160 @@
+"""Run the complete evaluation and dump results for EXPERIMENTS.md.
+
+Collects one record set per cluster configuration and derives every
+table/figure from the shared records (instead of re-running corpora per
+figure). Writes ``experiments_results.json`` and a plain-text report.
+
+Environment: REPRO_SCALE / REPRO_FULL control workflow sizes as usual.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict
+
+from repro.core.heuristic import DagHetPartConfig
+from repro.experiments.instances import build_corpus, synthetic_sizes
+from repro.experiments.metrics import (
+    aggregate_by,
+    makespan_ratios,
+    relative_makespan_by,
+    success_counts,
+)
+from repro.experiments.runner import run_corpus
+from repro.platform.presets import (
+    default_cluster,
+    large_cluster,
+    lesshet_cluster,
+    morehet_cluster,
+    nohet_cluster,
+    small_cluster,
+)
+
+CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
+SEED = 0
+
+
+def log(msg: str) -> None:
+    print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
+
+
+def run(cluster, corpus, label):
+    log(f"running corpus on {label} ({len(corpus)} instances)")
+    start = time.time()
+    records = run_corpus(corpus, cluster, config=CONFIG)
+    log(f"  done in {time.time() - start:.0f}s")
+    return records
+
+
+def main() -> None:
+    sizes = synthetic_sizes()
+    log(f"synthetic sizes: {sizes}")
+    corpus = build_corpus(seed=SEED, sizes=sizes)
+    corpus_4x = build_corpus(seed=SEED, sizes=sizes, work_factor=4.0)
+
+    record_sets = {}
+    record_sets["default"] = run(default_cluster(), corpus, "default-36")
+    record_sets["small"] = run(small_cluster(), corpus, "small-18")
+    record_sets["large"] = run(large_cluster(), corpus, "large-60")
+    record_sets["nohet"] = run(nohet_cluster(), corpus, "nohet")
+    record_sets["lesshet"] = run(lesshet_cluster(), corpus, "lesshet")
+    record_sets["morehet"] = run(morehet_cluster(), corpus, "morehet")
+    record_sets["beta0.1"] = run(default_cluster(bandwidth=0.1), corpus, "beta=0.1")
+    record_sets["beta5"] = run(default_cluster(bandwidth=5.0), corpus, "beta=5")
+    record_sets["demand4x"] = run(default_cluster(), corpus_4x, "4x demand")
+
+    out = {"sizes": sizes, "figures": {}}
+
+    def rel_by_cat(records):
+        return relative_makespan_by(records, key=lambda r: r.category)
+
+    # Fig 3 left + overall
+    d = record_sets["default"]
+    fig3_left = rel_by_cat(d)
+    fig3_left["all"] = relative_makespan_by(d, key=lambda r: "all")["all"]
+    out["figures"]["fig3_left"] = fig3_left
+
+    # Fig 3 right
+    out["figures"]["fig3_right"] = {
+        label: rel_by_cat(record_sets[key])
+        for label, key in (("18", "small"), ("36", "default"), ("60", "large"))
+    }
+
+    # Fig 4
+    out["figures"]["fig4_relative"] = {
+        level: rel_by_cat(record_sets[level])
+        for level in ("nohet", "lesshet", "default", "morehet")
+    }
+    out["figures"]["fig4_absolute"] = {
+        level: aggregate_by(
+            [r for r in record_sets[level]
+             if r.algorithm == "DagHetPart" and r.success],
+            key=lambda r: r.category, value=lambda r: r.makespan)
+        for level in ("nohet", "lesshet", "default", "morehet")
+    }
+
+    # Fig 5 (per family relative) and Fig 6 (absolute)
+    out["figures"]["fig5"] = {
+        f"{rec.family}:{rec.n_tasks}": 100.0 * ratio
+        for rec, ratio in makespan_ratios(d) if rec.category != "real"
+    }
+    out["figures"]["fig6"] = {
+        f"{r.family}:{r.n_tasks}": r.makespan
+        for r in d if r.algorithm == "DagHetPart" and r.success
+        and r.category != "real"
+    }
+
+    # Fig 7
+    out["figures"]["fig7"] = {
+        label: rel_by_cat(record_sets[key])
+        for label, key in (("0.1", "beta0.1"), ("1.0", "default"), ("5.0", "beta5"))
+    }
+
+    # Figs 8/9 + Table 4
+    by_instance = {}
+    for r in d:
+        by_instance.setdefault(r.instance, {})[r.algorithm] = r
+    rel_rt, abs_rt = {}, {}
+    for algs in by_instance.values():
+        mem, part = algs.get("DagHetMem"), algs.get("DagHetPart")
+        if mem is None or part is None:
+            continue
+        abs_rt.setdefault(part.category, []).append(part.runtime)
+        if mem.runtime > 0:
+            rel_rt.setdefault(part.category, []).append(part.runtime / mem.runtime)
+    out["figures"]["table4"] = {
+        cat: {"avg_relative_runtime": sum(rel_rt[cat]) / len(rel_rt[cat]),
+              "avg_absolute_runtime_sec": sum(abs_rt[cat]) / len(abs_rt[cat])}
+        for cat in abs_rt
+    }
+
+    # Success counts (Sec 5.2.2)
+    out["figures"]["success_counts"] = {
+        key: {f"{cat}/{alg}": list(v)
+              for (cat, alg), v in success_counts(record_sets[key]).items()}
+        for key in ("small", "default", "large")
+    }
+
+    # Demand 4x (Sec 5.2.4)
+    out["figures"]["demand4x"] = {
+        "1x": rel_by_cat(d),
+        "4x": rel_by_cat(record_sets["demand4x"]),
+    }
+
+    out["records"] = {
+        key: [asdict(r) for r in records] for key, records in record_sets.items()
+    }
+
+    with open("experiments_results.json", "w") as fh:
+        json.dump(out, fh, indent=1, default=str)
+    log("wrote experiments_results.json")
+
+    # human-readable summary
+    for name, data in out["figures"].items():
+        log(f"{name}: {json.dumps(data)[:400]}")
+
+
+if __name__ == "__main__":
+    main()

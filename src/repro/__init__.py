@@ -1,0 +1,76 @@
+"""repro — reproduction of "Mapping Large Memory-constrained Workflows onto
+Heterogeneous Platforms" (Kulagina, Meyerhenke, Benoit; ICPP 2024).
+
+Quickstart
+----------
+>>> from repro import generate_workflow, default_cluster, schedule
+>>> wf = generate_workflow("blast", n_tasks=200, seed=1)
+>>> cluster = default_cluster()
+>>> mapping = schedule(wf, cluster, algorithm="daghetpart")
+>>> mapping.validate()
+>>> mapping.makespan()  # doctest: +SKIP
+
+Package layout
+--------------
+``repro.workflow``   task-graph model;
+``repro.platform``   heterogeneous clusters (Tables 2-3);
+``repro.memdag``     peak-memory traversal engine (memDag role);
+``repro.partition``  multilevel acyclic DAG partitioner (dagP role);
+``repro.core``       DagHetMem baseline + DagHetPart heuristic;
+``repro.generators`` workflow families and weight models (Section 5.1.1);
+``repro.experiments`` harness regenerating every table and figure.
+"""
+
+from repro.workflow import Workflow
+from repro.platform import (
+    Cluster,
+    Processor,
+    cluster_by_name,
+    default_cluster,
+    large_cluster,
+    lesshet_cluster,
+    morehet_cluster,
+    nohet_cluster,
+    small_cluster,
+)
+from repro.core import (
+    DagHetPartConfig,
+    Mapping,
+    dag_het_mem,
+    dag_het_part,
+    schedule,
+)
+from repro.generators import generate_workflow, WORKFLOW_FAMILIES
+from repro.utils.errors import (
+    CyclicWorkflowError,
+    InvalidPartitionError,
+    NoFeasibleMappingError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Workflow",
+    "Cluster",
+    "Processor",
+    "cluster_by_name",
+    "default_cluster",
+    "small_cluster",
+    "large_cluster",
+    "morehet_cluster",
+    "lesshet_cluster",
+    "nohet_cluster",
+    "DagHetPartConfig",
+    "Mapping",
+    "dag_het_mem",
+    "dag_het_part",
+    "schedule",
+    "generate_workflow",
+    "WORKFLOW_FAMILIES",
+    "ReproError",
+    "CyclicWorkflowError",
+    "InvalidPartitionError",
+    "NoFeasibleMappingError",
+    "__version__",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``    build a workflow (family generator or real-world model)
+                and write it to JSON/DOT;
+``schedule``    map a workflow onto a cluster with DagHetMem/DagHetPart,
+                print the mapping summary, optionally a Gantt chart or a
+                JSON schedule;
+``experiment``  regenerate one of the paper's tables/figures;
+``info``        print cluster presets (Tables 2-3) and corpus sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.heuristic import DagHetPartConfig, schedule as run_schedule
+from repro.experiments import figures
+from repro.experiments.instances import scaled_cluster_for, synthetic_sizes
+from repro.experiments.report import format_table
+from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
+from repro.generators.realworld import REAL_WORKFLOW_NAMES, generate_real_workflow
+from repro.platform.presets import CLUSTER_PRESETS, cluster_by_name
+from repro.utils.errors import NoFeasibleMappingError
+from repro.workflow.io import (
+    load_workflow_json,
+    save_workflow_json,
+    workflow_from_dot,
+    workflow_to_dot,
+)
+
+#: experiment name -> driver (drivers that need no extra arguments)
+EXPERIMENTS = {
+    "table2": figures.table2,
+    "table3": figures.table3,
+    "fig3_left": figures.fig3_left,
+    "fig3_right": figures.fig3_right,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "table4": figures.table4,
+    "success_counts": figures.success_counts_experiment,
+    "demand4x": figures.demand4x,
+}
+
+
+def _load_workflow(args) -> "Workflow":
+    if args.workflow:
+        path = args.workflow
+        if path.endswith(".dot"):
+            return workflow_from_dot(open(path).read(), name=path)
+        return load_workflow_json(path)
+    if args.family in REAL_WORKFLOW_NAMES:
+        return generate_real_workflow(args.family, seed=args.seed)
+    return generate_workflow(args.family, args.n_tasks, seed=args.seed)
+
+
+def _add_workflow_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workflow", help="load a workflow from .json or .dot")
+    p.add_argument("--family", default="blast",
+                   help=f"generator family ({', '.join(WORKFLOW_FAMILIES)}) "
+                        f"or real-world model ({', '.join(REAL_WORKFLOW_NAMES)})")
+    p.add_argument("-n", "--n-tasks", type=int, default=200,
+                   help="approximate task count for generated workflows")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a workflow to JSON or DOT."""
+    wf = _load_workflow(args)
+    if args.output.endswith(".dot"):
+        with open(args.output, "w") as fh:
+            fh.write(workflow_to_dot(wf))
+    else:
+        save_workflow_json(wf, args.output)
+    print(f"wrote {wf.n_tasks} tasks / {wf.n_edges} edges to {args.output}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """``repro schedule``: map a workflow and print the summary."""
+    wf = _load_workflow(args)
+    cluster = cluster_by_name(args.cluster, bandwidth=args.beta)
+    if args.scale_memory:
+        cluster = scaled_cluster_for(wf, cluster)
+    config = DagHetPartConfig(k_prime_strategy=args.k_strategy)
+    try:
+        mapping = run_schedule(wf, cluster, args.algorithm, config=config)
+    except NoFeasibleMappingError as exc:
+        print(f"no feasible mapping: {exc}", file=sys.stderr)
+        return 2
+    mapping.validate()
+    print(f"algorithm : {mapping.algorithm}")
+    print(f"workflow  : {wf.name} ({wf.n_tasks} tasks)")
+    print(f"cluster   : {cluster.name} (k={cluster.k}, beta={cluster.bandwidth:g})")
+    print(f"makespan  : {mapping.makespan():.2f}")
+    print(f"blocks    : {mapping.n_blocks}")
+    if args.gantt:
+        from repro.core.simulate import gantt_text
+        print()
+        print(gantt_text(mapping))
+    if args.json:
+        from repro.core.simulate import schedule_to_dict
+        with open(args.json, "w") as fh:
+            json.dump(schedule_to_dict(mapping), fh, indent=1)
+        print(f"schedule written to {args.json}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """``repro experiment``: regenerate one table/figure."""
+    driver = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.name not in ("table2", "table3"):
+        if args.families:
+            kwargs["families"] = tuple(args.families.split(","))
+        kwargs["seed"] = args.seed
+        kwargs["config"] = DagHetPartConfig(k_prime_strategy=args.k_strategy)
+        if args.progress:
+            kwargs["progress"] = lambda msg: print(f"  {msg}", file=sys.stderr)
+    result = driver(**kwargs)
+    print(format_table(result["rows"], title=args.name))
+    if args.plot:
+        _plot_rows(args.name, result["rows"])
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result["rows"], fh, indent=1)
+        print(f"rows written to {args.json}")
+    return 0
+
+
+def _plot_rows(name: str, rows) -> None:
+    """Best-effort ASCII chart for the figure's main series."""
+    from repro.experiments.plotting import ascii_bar_chart, ascii_line_plot, figure_series
+    if not rows:
+        return
+    keys = set(rows[0])
+    print()
+    if {"n_tasks", "relative_makespan_pct", "family"} <= keys:
+        print(ascii_line_plot(
+            figure_series(rows, "n_tasks", "relative_makespan_pct", "family"),
+            title=name, x_label="n_tasks", y_label="relative makespan %"))
+    elif {"bandwidth", "relative_makespan_pct", "workflow_type"} <= keys:
+        print(ascii_line_plot(
+            figure_series(rows, "bandwidth", "relative_makespan_pct",
+                          "workflow_type"),
+            title=name, x_label="bandwidth", y_label="relative makespan %"))
+    elif {"n_tasks", "makespan", "family"} <= keys:
+        print(ascii_line_plot(
+            figure_series(rows, "n_tasks", "makespan", "family"),
+            title=name, x_label="n_tasks", y_label="makespan"))
+    elif {"workflow_type", "relative_makespan_pct"} <= keys:
+        print(ascii_bar_chart(
+            {r["workflow_type"]: r["relative_makespan_pct"] for r in rows},
+            title=f"{name} (relative makespan %)"))
+
+
+def cmd_info(args) -> int:
+    """``repro info``: print presets and corpus configuration."""
+    rows2 = figures.table2()["rows"]
+    print(format_table(rows2, title="Table 2: default machine kinds"))
+    print()
+    rows3 = figures.table3()["rows"]
+    print(format_table(rows3, title="Table 3: MoreHet / LessHet variants"))
+    print()
+    print(f"cluster presets: {', '.join(sorted(CLUSTER_PRESETS))}")
+    print(f"workflow families: {', '.join(WORKFLOW_FAMILIES)}")
+    print(f"real-world models: {', '.join(REAL_WORKFLOW_NAMES)}")
+    print(f"synthetic sizes (current scale): {synthetic_sizes()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-constrained workflow mapping onto heterogeneous "
+                    "platforms (ICPP 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a workflow file")
+    _add_workflow_args(p)
+    p.add_argument("-o", "--output", required=True, help=".json or .dot path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("schedule", help="map a workflow onto a cluster")
+    _add_workflow_args(p)
+    p.add_argument("--cluster", default="default",
+                   choices=sorted(CLUSTER_PRESETS))
+    p.add_argument("--beta", type=float, default=1.0, help="bandwidth")
+    p.add_argument("--algorithm", default="daghetpart",
+                   choices=["daghetpart", "daghetmem"])
+    p.add_argument("--k-strategy", default="auto",
+                   choices=["auto", "all", "doubling"])
+    p.add_argument("--no-scale-memory", dest="scale_memory",
+                   action="store_false",
+                   help="disable the paper's proportional memory scaling")
+    p.add_argument("--gantt", action="store_true",
+                   help="print an ASCII Gantt chart of the schedule")
+    p.add_argument("--json", help="write the task-level schedule to a file")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--families", help="comma-separated family subset")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--k-strategy", default="doubling",
+                   choices=["auto", "all", "doubling"])
+    p.add_argument("--progress", action="store_true")
+    p.add_argument("--json", help="write the rows to a file")
+    p.add_argument("--plot", action="store_true",
+                   help="render the series as an ASCII chart")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("info", help="show presets and corpus configuration")
+    p.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""DagHetMem — the memory-aware baseline (Section 4.1).
+
+Computes the memory-optimal traversal of the *entire* workflow (memDag
+role), sorts processors by decreasing memory, and packs the traversal
+greedily: tasks join the current block while the block's running peak fits
+the current processor; the first task that does not fit starts a new block
+on the next processor. The heuristic performs no makespan optimization —
+it is the validity baseline the paper compares DagHetPart against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.mapping import BlockAssignment, Mapping
+from repro.memdag.model import BlockPackingState
+from repro.memdag.requirement import RequirementCache
+from repro.memdag.traversal import memdag_traversal
+from repro.platform.cluster import Cluster
+from repro.utils.errors import NoFeasibleMappingError
+from repro.workflow.graph import Workflow
+
+Node = Hashable
+
+
+def dag_het_mem(wf: Workflow, cluster: Cluster,
+                traversal_methods: Sequence[str] = ("best_first", "layered", "sp"),
+                cache: Optional[RequirementCache] = None) -> Mapping:
+    """Run the DagHetMem baseline; returns a validated-constructible Mapping.
+
+    Raises :class:`NoFeasibleMappingError` when the traversal cannot be
+    packed into the available processor memories — the paper's "the
+    workflow needs a larger platform" outcome.
+    """
+    if wf.n_tasks == 0:
+        return Mapping(wf, cluster, [], algorithm="DagHetMem")
+
+    traversal = memdag_traversal(wf, methods=traversal_methods)
+    procs = cluster.by_memory_desc()
+
+    proc_idx = 0
+    state = BlockPackingState(wf, procs[0].memory)
+    packed: List[Tuple[int, Set[Node], float]] = []  # (proc index, tasks, peak)
+
+    order = list(traversal.order)
+    i = 0
+    while i < len(order):
+        u = order[i]
+        if state.fits(u):
+            state.add(u)
+            i += 1
+            continue
+        # close the current block (if non-empty) and move to the next
+        # processor; the traversal resumes from u (Section 4.1)
+        if state.tasks:
+            peak = state.peak
+            if proc_idx + 1 >= len(procs):
+                tasks = state.close_block(0.0)
+                packed.append((proc_idx, tasks, peak))
+                raise NoFeasibleMappingError(
+                    f"DagHetMem: {len(order) - i} task(s) left but no processors remain",
+                    unplaced_tasks=len(order) - i)
+            tasks = state.close_block(procs[proc_idx + 1].memory)
+            packed.append((proc_idx, tasks, peak))
+            proc_idx += 1
+        else:
+            # u does not fit an *empty* block; processors are sorted by
+            # decreasing memory, so no later processor can host it either
+            raise NoFeasibleMappingError(
+                f"DagHetMem: task {u!r} needs {state.usage_if_added(u):g} memory, "
+                f"largest remaining processor has {procs[proc_idx].memory:g}",
+                unplaced_tasks=len(order) - i)
+
+    if state.tasks:
+        packed.append((proc_idx, set(state.tasks), state.peak))
+
+    cache = cache or RequirementCache(wf, methods=traversal_methods)
+    assignments = []
+    for pidx, tasks, peak in packed:
+        result = cache.requirement(tasks)
+        # the packing peak is valid for the traversal-slice order; the cache
+        # may find an even better intra-block order — use the better one
+        requirement = min(peak, result.peak)
+        trav = result.order if result.peak <= peak else tuple(
+            u for u in order if u in tasks)
+        assignments.append(BlockAssignment(
+            tasks=frozenset(tasks),
+            processor=procs[pidx],
+            requirement=requirement,
+            traversal=trav,
+        ))
+    return Mapping(wf, cluster, assignments, algorithm="DagHetMem")

@@ -1,0 +1,97 @@
+"""Makespan lower bounds and optimality-gap reporting.
+
+The DAGP-PM problem is NP-complete, so neither heuristic comes with a
+guarantee; these bounds put every measured makespan in context. All three
+are valid for *any* mapping that satisfies the model of Section 3:
+
+* **work bound** — the total work divided by the sum of the ``k`` fastest
+  processor speeds: even a perfectly balanced, communication-free
+  schedule cannot beat it;
+* **critical-path bound** — the workflow's work-only critical path run
+  entirely on the fastest processor (communication is free only if the
+  whole path shares one processor, so edge costs are excluded);
+* **bottleneck-task bound** — the heaviest single task on the fastest
+  processor that can *hold* it (memory constraints can forbid the fastest
+  machines).
+
+``makespan_lower_bound`` is their maximum; ``optimality_gap`` divides a
+mapping's makespan by it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.mapping import Mapping
+from repro.platform.cluster import Cluster
+from repro.workflow.analysis import critical_path
+from repro.workflow.graph import Workflow
+
+
+def work_bound(wf: Workflow, cluster: Cluster) -> float:
+    """Total work over the aggregate speed of all processors."""
+    total_speed = sum(p.speed for p in cluster)
+    if total_speed <= 0:
+        return float("inf")
+    return wf.total_work() / total_speed
+
+
+def critical_path_bound(wf: Workflow, cluster: Cluster) -> float:
+    """Work along the longest work-only path, at the maximum speed.
+
+    Edge costs are deliberately excluded: a mapping placing the whole path
+    on one processor pays no communication, so including them would make
+    the bound invalid.
+    """
+    path, _ = critical_path(wf, beta=float("inf"))
+    if not path:
+        return 0.0
+    path_work = sum(wf.work(u) for u in path)
+    max_speed = max(p.speed for p in cluster)
+    return path_work / max_speed
+
+
+def bottleneck_task_bound(wf: Workflow, cluster: Cluster) -> float:
+    """The heaviest task on the fastest processor whose memory can hold it.
+
+    A task ``u`` can only run on processors with ``M_j >= r_u``; on
+    memory-stratified clusters this excludes the fast small-memory nodes
+    and sharpens the bound considerably.
+    """
+    bound = 0.0
+    speeds_by_memory = sorted(((p.memory, p.speed) for p in cluster))
+    for u in wf.tasks():
+        r = wf.task_requirement(u)
+        best_speed = 0.0
+        for memory, speed in speeds_by_memory:
+            if memory + 1e-9 >= r:
+                best_speed = max(best_speed, speed)
+        if best_speed == 0.0:
+            return float("inf")  # task fits nowhere: every makespan is inf
+        bound = max(bound, wf.work(u) / best_speed)
+    return bound
+
+
+def makespan_lower_bound(wf: Workflow, cluster: Cluster) -> float:
+    """Best (largest) of the three lower bounds."""
+    return max(work_bound(wf, cluster),
+               critical_path_bound(wf, cluster),
+               bottleneck_task_bound(wf, cluster))
+
+
+def bound_report(wf: Workflow, cluster: Cluster) -> Dict[str, float]:
+    """All bounds by name, plus the combined one."""
+    return {
+        "work": work_bound(wf, cluster),
+        "critical_path": critical_path_bound(wf, cluster),
+        "bottleneck_task": bottleneck_task_bound(wf, cluster),
+        "combined": makespan_lower_bound(wf, cluster),
+    }
+
+
+def optimality_gap(mapping: Mapping) -> float:
+    """``mapping.makespan() / lower_bound`` — 1.0 would be provably optimal."""
+    lb = makespan_lower_bound(mapping.workflow, mapping.cluster)
+    if lb <= 0:
+        return 1.0
+    return mapping.makespan() / lb

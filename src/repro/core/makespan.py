@@ -1,0 +1,95 @@
+"""Makespan computation via bottom weights (Section 3.3, Eqs. (1)-(2)).
+
+The bottom weight of a quotient vertex ``nu`` is
+
+    l_nu = w_nu / s_nu                                  if nu has no children
+    l_nu = w_nu / s_nu + max_{nu' in C_nu} (c_{nu,nu'} / beta + l_nu')
+
+where ``s_nu`` is the speed of the assigned processor, or 1 for vertices
+not (yet) assigned — yielding the paper's *estimated* makespan during
+Step 3. The makespan of the quotient DAG is ``max_nu l_nu``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.quotient import BlockId, QuotientGraph
+from repro.platform.cluster import Cluster
+from repro.utils.errors import CyclicWorkflowError
+
+
+def _speed(q: QuotientGraph, bid: BlockId, default_speed: float) -> float:
+    blk = q.blocks[bid]
+    return blk.proc.speed if blk.proc is not None else default_speed
+
+
+def bottom_weights(q: QuotientGraph, cluster: Cluster,
+                   default_speed: float = 1.0) -> Dict[BlockId, float]:
+    """Bottom weight of every quotient vertex; raises on a cyclic quotient.
+
+    With a heterogeneous interconnect model, the edge term ``c / beta``
+    uses the bandwidth of the link between the two blocks' processors;
+    links with an undecided endpoint use the model's default (the same
+    estimation rule the paper applies to unassigned speeds).
+    """
+    order = q.topological_order()
+    if order is None:
+        raise CyclicWorkflowError(message="makespan undefined: quotient graph is cyclic")
+    from repro.platform.bandwidth import UniformBandwidth
+
+    uniform = isinstance(cluster.bandwidth_model, UniformBandwidth)
+    beta = cluster.bandwidth
+    l: Dict[BlockId, float] = {}
+    for bid in reversed(order):
+        blk = q.blocks[bid]
+        own = blk.work / _speed(q, bid, default_speed)
+        best_child = 0.0
+        for child, c in q.succ[bid].items():
+            if uniform:
+                link = beta
+            else:
+                link = cluster.link_bandwidth(blk.proc, q.blocks[child].proc)
+            cand = c / link + l[child]
+            if cand > best_child:
+                best_child = cand
+        l[bid] = own + best_child
+    return l
+
+
+def makespan(q: QuotientGraph, cluster: Cluster, default_speed: float = 1.0) -> float:
+    """``mu(Gamma) = max_nu l_nu`` (Eq. (2)); 0 for an empty quotient."""
+    if not q.blocks:
+        return 0.0
+    return max(bottom_weights(q, cluster, default_speed).values())
+
+
+def critical_path(q: QuotientGraph, cluster: Cluster,
+                  default_speed: float = 1.0) -> List[BlockId]:
+    """The path realizing the makespan, from its start vertex to a sink.
+
+    Starts at the vertex with the maximum bottom weight and repeatedly
+    follows the child attaining the max in Eq. (1). Deterministic: ties go
+    to the first child in adjacency order.
+    """
+    if not q.blocks:
+        return []
+    l = bottom_weights(q, cluster, default_speed)
+    start = max(l, key=lambda bid: (l[bid], -bid))
+    path = [start]
+    current = start
+    while q.succ[current]:
+        own = q.blocks[current].work / _speed(q, current, default_speed)
+        target = l[current] - own
+        nxt: Optional[BlockId] = None
+        for child, c in q.succ[current].items():
+            link = cluster.link_bandwidth(q.blocks[current].proc,
+                                          q.blocks[child].proc)
+            if abs(c / link + l[child] - target) <= 1e-9 * max(1.0, abs(target)):
+                nxt = child
+                break
+        if nxt is None:
+            break  # numerical fallback: no child matches exactly
+        path.append(nxt)
+        current = nxt
+    return path

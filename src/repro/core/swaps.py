@@ -1,0 +1,112 @@
+"""Step 4 of DagHetPart: local search (Algorithm 5).
+
+Two mechanisms, both monotone in makespan:
+
+* **swaps** — exchange the processors of two quotient vertices when both
+  fit memory-wise; the best improving swap is applied, repeatedly, until
+  none exists (steepest descent);
+* **idle moves** — when processors remain idle (small workflows, few
+  blocks), move critical-path vertices to faster idle processors that can
+  hold them, recomputing the critical path after each move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.makespan import critical_path, makespan
+from repro.core.quotient import BlockId, QuotientGraph
+from repro.memdag.requirement import RequirementCache
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+
+Node = Hashable
+
+
+def improve_by_swaps(q: QuotientGraph, cluster: Cluster,
+                     cache: RequirementCache, max_rounds: int = 1000) -> int:
+    """Steepest-descent processor swaps; returns the number applied.
+
+    A swap of vertices ``(nu, nu')`` is feasible when each block fits the
+    other's processor memory. Each round evaluates all feasible pairs and
+    applies the single best strictly-improving one (Algorithm 5 keeps the
+    best pair and stops when no improving swap exists).
+    """
+    applied = 0
+    requirement: Dict[BlockId, float] = {
+        bid: cache.peak(blk.tasks) for bid, blk in q.blocks.items()
+    }
+    current = makespan(q, cluster)
+    for _ in range(max_rounds):
+        ids = [bid for bid, blk in q.blocks.items() if blk.proc is not None]
+        best_mu = current
+        best_pair: Optional[Tuple[BlockId, BlockId]] = None
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                pa, pb = q.blocks[a].proc, q.blocks[b].proc
+                if pa.name == pb.name:
+                    continue
+                if requirement[a] > pb.memory or requirement[b] > pa.memory:
+                    continue
+                q.blocks[a].proc, q.blocks[b].proc = pb, pa
+                mu = makespan(q, cluster)
+                q.blocks[a].proc, q.blocks[b].proc = pa, pb
+                if mu < best_mu - 1e-12:
+                    best_mu = mu
+                    best_pair = (a, b)
+        if best_pair is None:
+            break
+        a, b = best_pair
+        q.blocks[a].proc, q.blocks[b].proc = q.blocks[b].proc, q.blocks[a].proc
+        current = best_mu
+        applied += 1
+    return applied
+
+
+def move_critical_to_idle(q: QuotientGraph, cluster: Cluster,
+                          cache: RequirementCache) -> int:
+    """Move critical-path vertices to faster idle processors; returns #moves.
+
+    Activated only when some processors are idle after swapping. Each
+    critical-path vertex is moved at most once ("as long as there are
+    tasks in the critical path that have not been moved"); moves must
+    strictly improve the makespan.
+    """
+    used = q.used_processors()
+    idle: List[Processor] = [p for p in cluster.by_speed_desc() if p.name not in used]
+    if not idle:
+        return 0
+
+    moved: Set[BlockId] = set()
+    moves = 0
+    current = makespan(q, cluster)
+    while True:
+        path = critical_path(q, cluster)
+        progressed = False
+        for nu in path:
+            if nu in moved or nu not in q.blocks:
+                continue
+            blk = q.blocks[nu]
+            if blk.proc is None:
+                continue
+            req = cache.peak(blk.tasks)
+            for candidate in idle:
+                if candidate.speed <= blk.proc.speed or req > candidate.memory:
+                    continue
+                old = blk.proc
+                blk.proc = candidate
+                mu = makespan(q, cluster)
+                if mu < current - 1e-12:
+                    idle.remove(candidate)
+                    idle.append(old)
+                    idle.sort(key=lambda p: (-p.speed, -p.memory, p.name))
+                    current = mu
+                    moved.add(nu)
+                    moves += 1
+                    progressed = True
+                    break
+                blk.proc = old
+            if progressed:
+                break  # critical path changed; recompute
+        if not progressed:
+            return moves

@@ -1,0 +1,50 @@
+"""Experiment harness: regenerates every table and figure of Section 5.
+
+* :mod:`repro.experiments.instances` — the evaluation corpus (workflow
+  families x sizes + real-world workflows) with laptop-scale defaults and
+  ``REPRO_FULL=1`` for the paper's sizes;
+* :mod:`repro.experiments.runner` — runs DagHetMem/DagHetPart pairs and
+  records makespans, runtimes and success;
+* :mod:`repro.experiments.metrics` — geometric means and relative
+  makespans, matching the paper's aggregation;
+* :mod:`repro.experiments.figures` — one driver per table/figure
+  (``fig3_left`` ... ``fig9``, ``table4``, ``success_counts``,
+  ``demand4x``);
+* :mod:`repro.experiments.report` — plain-text rendering of the results.
+"""
+
+from repro.experiments.instances import (
+    Instance,
+    build_corpus,
+    real_instances,
+    synthetic_instances,
+    synthetic_sizes,
+    scaled_cluster_for,
+    SIZE_CATEGORIES,
+)
+from repro.experiments.runner import RunRecord, run_instance, run_corpus
+from repro.experiments.metrics import (
+    geometric_mean,
+    relative_makespan_by,
+    aggregate_by,
+)
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+__all__ = [
+    "Instance",
+    "build_corpus",
+    "real_instances",
+    "synthetic_instances",
+    "synthetic_sizes",
+    "scaled_cluster_for",
+    "SIZE_CATEGORIES",
+    "RunRecord",
+    "run_instance",
+    "run_corpus",
+    "geometric_mean",
+    "relative_makespan_by",
+    "aggregate_by",
+    "figures",
+    "format_table",
+]

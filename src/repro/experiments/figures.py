@@ -1,0 +1,307 @@
+"""One driver per table and figure of the paper's evaluation (Section 5.2).
+
+Every function returns ``{"rows": [...], "records": [...]}`` — ``rows``
+holds exactly the series the paper plots (ready for
+:func:`repro.experiments.report.format_table`), ``records`` the raw
+per-run data. Corpus size is controlled by the same knobs everywhere
+(``seed``, ``full``, ``families``, ``sizes``) so the benchmarks can run
+reduced corpora while ``REPRO_FULL=1`` reproduces the paper's scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.heuristic import DagHetPartConfig
+from repro.experiments.instances import SIZE_CATEGORIES, build_corpus
+from repro.experiments.metrics import (
+    aggregate_by,
+    makespan_ratios,
+    relative_makespan_by,
+    success_counts,
+)
+from repro.experiments.runner import RunRecord, run_corpus
+from repro.platform.presets import (
+    MACHINE_KINDS,
+    MACHINE_KINDS_LESSHET,
+    MACHINE_KINDS_MOREHET,
+    default_cluster,
+    large_cluster,
+    lesshet_cluster,
+    morehet_cluster,
+    nohet_cluster,
+    small_cluster,
+)
+
+_CAT_ORDER = {cat: i for i, cat in enumerate(SIZE_CATEGORIES)}
+
+
+def _records(cluster, seed=0, full=None, families=None, sizes=None,
+             include_real=True, config=None, work_factor=1.0,
+             progress=None) -> List[RunRecord]:
+    corpus = build_corpus(seed=seed, full=full, families=families,
+                          include_real=include_real, sizes=sizes,
+                          work_factor=work_factor)
+    return run_corpus(corpus, cluster, config=config, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3 — cluster configurations (pure data, kept as experiments
+# so the benches can assert the presets never drift from the paper)
+# ----------------------------------------------------------------------
+def table2() -> Dict[str, List[Dict]]:
+    """Table 2: the default cluster's machine kinds."""
+    rows = [{"processor": kind, "speed_ghz": float(s), "memory_gb": float(m)}
+            for kind, s, m in MACHINE_KINDS]
+    return {"rows": rows, "records": []}
+
+
+def table3() -> Dict[str, List[Dict]]:
+    """Table 3: MoreHet and LessHet machine kinds."""
+    rows = []
+    for (k1, s1, m1), (k2, s2, m2) in zip(MACHINE_KINDS_MOREHET, MACHINE_KINDS_LESSHET):
+        rows.append({"morehet": k1, "speed*": float(s1), "memory*": float(m1),
+                     "lesshet": k2, "speed'": float(s2), "memory'": float(m2)})
+    return {"rows": rows, "records": []}
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 (left): relative makespan by workflow type, default cluster
+# ----------------------------------------------------------------------
+def fig3_left(seed=0, full=None, families=None, sizes=None,
+              config: Optional[DagHetPartConfig] = None,
+              progress=None) -> Dict[str, List]:
+    """Relative makespan (%) of DagHetPart vs DagHetMem per workflow type."""
+    records = _records(default_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, config=config,
+                       progress=progress)
+    rel = relative_makespan_by(records, key=lambda r: r.category)
+    rows = [{"workflow_type": cat, "relative_makespan_pct": rel[cat]}
+            for cat in SIZE_CATEGORIES if cat in rel]
+    overall = relative_makespan_by(records, key=lambda r: "all").get("all")
+    if overall is not None:
+        rows.append({"workflow_type": "all", "relative_makespan_pct": overall})
+    return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 (right): relative makespan on different cluster sizes
+# ----------------------------------------------------------------------
+def fig3_right(seed=0, full=None, families=None, sizes=None,
+               config: Optional[DagHetPartConfig] = None,
+               progress=None) -> Dict[str, List]:
+    """Relative makespan (%) across small/default/large clusters (18/36/60)."""
+    rows: List[Dict] = []
+    all_records: List[RunRecord] = []
+    for cluster in (small_cluster(), default_cluster(), large_cluster()):
+        records = _records(cluster, seed=seed, full=full, families=families,
+                           sizes=sizes, config=config, progress=progress)
+        all_records.extend(records)
+        rel = relative_makespan_by(records, key=lambda r: r.category)
+        for cat in SIZE_CATEGORIES:
+            if cat in rel:
+                rows.append({"n_cpus": cluster.k, "workflow_type": cat,
+                             "relative_makespan_pct": rel[cat]})
+    rows.sort(key=lambda r: (r["n_cpus"], _CAT_ORDER[r["workflow_type"]]))
+    return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: impact of heterogeneity (relative + absolute makespans)
+# ----------------------------------------------------------------------
+def fig4(seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """NoHet / LessHet / default / MoreHet: relative and absolute makespan."""
+    rows: List[Dict] = []
+    all_records: List[RunRecord] = []
+    for label, cluster in (("nohet", nohet_cluster()), ("lesshet", lesshet_cluster()),
+                           ("default", default_cluster()), ("morehet", morehet_cluster())):
+        records = _records(cluster, seed=seed, full=full, families=families,
+                           sizes=sizes, config=config, progress=progress)
+        all_records.extend(records)
+        rel = relative_makespan_by(records, key=lambda r: r.category)
+        absolute = aggregate_by(
+            [r for r in records if r.algorithm == "DagHetPart" and r.success],
+            key=lambda r: r.category, value=lambda r: r.makespan)
+        for cat in SIZE_CATEGORIES:
+            if cat in rel:
+                rows.append({"heterogeneity": label, "workflow_type": cat,
+                             "relative_makespan_pct": rel[cat],
+                             "absolute_makespan": absolute.get(cat, float("nan"))})
+    return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 / Fig. 6: per-family behaviour when scaling workflow size
+# ----------------------------------------------------------------------
+def fig5(seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """Relative makespan per workflow family as a function of size."""
+    records = _records(default_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, include_real=False,
+                       config=config, progress=progress)
+    rows = [
+        {"family": rec.family, "n_tasks": rec.n_tasks,
+         "relative_makespan_pct": 100.0 * ratio}
+        for rec, ratio in makespan_ratios(records)
+    ]
+    rows.sort(key=lambda r: (r["family"], r["n_tasks"]))
+    return {"rows": rows, "records": records}
+
+
+def fig6(seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """Absolute DagHetPart makespan per family as a function of size."""
+    records = _records(default_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, include_real=False,
+                       config=config, progress=progress)
+    rows = [
+        {"family": r.family, "n_tasks": r.n_tasks, "makespan": r.makespan}
+        for r in records if r.algorithm == "DagHetPart" and r.success
+    ]
+    rows.sort(key=lambda r: (r["family"], r["n_tasks"]))
+    return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: impact of the communication-to-computation ratio (bandwidth)
+# ----------------------------------------------------------------------
+def fig7(betas: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 5.0),
+         seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """Relative makespan vs bandwidth, by workflow type."""
+    rows: List[Dict] = []
+    all_records: List[RunRecord] = []
+    for beta in betas:
+        records = _records(default_cluster(bandwidth=beta), seed=seed,
+                           full=full, families=families, sizes=sizes,
+                           config=config, progress=progress)
+        all_records.extend(records)
+        rel = relative_makespan_by(records, key=lambda r: r.category)
+        for cat in SIZE_CATEGORIES:
+            if cat in rel:
+                rows.append({"bandwidth": beta, "workflow_type": cat,
+                             "relative_makespan_pct": rel[cat]})
+    rows.sort(key=lambda r: (_CAT_ORDER[r["workflow_type"]], r["bandwidth"]))
+    return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Figs. 8-9 and Table 4: running times
+# ----------------------------------------------------------------------
+def fig8(seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """Per-workflow running time of DagHetPart relative to DagHetMem."""
+    records = _records(default_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, config=config,
+                       progress=progress)
+    by_instance: Dict[str, Dict[str, RunRecord]] = {}
+    for r in records:
+        by_instance.setdefault(r.instance, {})[r.algorithm] = r
+    rows = []
+    for name, algs in sorted(by_instance.items()):
+        mem, part = algs.get("DagHetMem"), algs.get("DagHetPart")
+        if mem is None or part is None or mem.runtime <= 0:
+            continue
+        rows.append({"instance": name, "family": part.family,
+                     "n_tasks": part.n_tasks,
+                     "relative_runtime": part.runtime / mem.runtime})
+    return {"rows": rows, "records": records}
+
+
+def fig9(seed=0, full=None, families=None, sizes=None,
+         config: Optional[DagHetPartConfig] = None,
+         progress=None) -> Dict[str, List]:
+    """Absolute running time of DagHetPart by workflow type (log-scale plot)."""
+    records = _records(default_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, config=config,
+                       progress=progress)
+    rows = [
+        {"workflow_type": r.category, "instance": r.instance,
+         "n_tasks": r.n_tasks, "runtime_sec": r.runtime}
+        for r in records if r.algorithm == "DagHetPart"
+    ]
+    rows.sort(key=lambda r: (_CAT_ORDER[r["workflow_type"]], r["n_tasks"]))
+    return {"rows": rows, "records": records}
+
+
+def table4(seed=0, full=None, families=None, sizes=None,
+           config: Optional[DagHetPartConfig] = None,
+           progress=None) -> Dict[str, List]:
+    """Table 4: avg relative and absolute running times per workflow set."""
+    data = fig8(seed=seed, full=full, families=families, sizes=sizes,
+                config=config, progress=progress)
+    records = data["records"]
+    by_cat_rel: Dict[str, List[float]] = {}
+    by_cat_abs: Dict[str, List[float]] = {}
+    by_instance: Dict[str, Dict[str, RunRecord]] = {}
+    for r in records:
+        by_instance.setdefault(r.instance, {})[r.algorithm] = r
+    for algs in by_instance.values():
+        mem, part = algs.get("DagHetMem"), algs.get("DagHetPart")
+        if mem is None or part is None:
+            continue
+        by_cat_abs.setdefault(part.category, []).append(part.runtime)
+        if mem.runtime > 0:
+            by_cat_rel.setdefault(part.category, []).append(part.runtime / mem.runtime)
+    rows = []
+    for cat in SIZE_CATEGORIES:
+        if cat not in by_cat_abs:
+            continue
+        rel = by_cat_rel.get(cat, [])
+        rows.append({
+            "workflow_set": cat,
+            "avg_relative_runtime": sum(rel) / len(rel) if rel else float("nan"),
+            "avg_absolute_runtime_sec": sum(by_cat_abs[cat]) / len(by_cat_abs[cat]),
+        })
+    return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Section 5.2.2: scheduling success counts per cluster size
+# ----------------------------------------------------------------------
+def success_counts_experiment(seed=0, full=None, families=None, sizes=None,
+                              config: Optional[DagHetPartConfig] = None,
+                              progress=None) -> Dict[str, List]:
+    """How many workflows each algorithm schedules on each cluster size."""
+    rows: List[Dict] = []
+    all_records: List[RunRecord] = []
+    for cluster in (small_cluster(), default_cluster(), large_cluster()):
+        records = _records(cluster, seed=seed, full=full, families=families,
+                           sizes=sizes, config=config, progress=progress)
+        all_records.extend(records)
+        for (cat, alg), (ok, total) in sorted(success_counts(records).items()):
+            rows.append({"cluster": cluster.name, "workflow_type": cat,
+                         "algorithm": alg, "scheduled": ok, "total": total})
+    return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Section 5.2.4: four-times-bigger computational demands
+# ----------------------------------------------------------------------
+def demand4x(seed=0, full=None, families=None, sizes=None,
+             config: Optional[DagHetPartConfig] = None,
+             progress=None) -> Dict[str, List]:
+    """Relative makespans with normal vs 4x workloads, side by side."""
+    rows: List[Dict] = []
+    all_records: List[RunRecord] = []
+    rel_by_factor: Dict[float, Dict[str, float]] = {}
+    for factor in (1.0, 4.0):
+        records = _records(default_cluster(), seed=seed, full=full,
+                           families=families, sizes=sizes, config=config,
+                           work_factor=factor, progress=progress)
+        all_records.extend(records)
+        rel_by_factor[factor] = relative_makespan_by(records, key=lambda r: r.category)
+    for cat in SIZE_CATEGORIES:
+        if cat in rel_by_factor[1.0] or cat in rel_by_factor[4.0]:
+            rows.append({
+                "workflow_type": cat,
+                "relative_makespan_pct_1x": rel_by_factor[1.0].get(cat, float("nan")),
+                "relative_makespan_pct_4x": rel_by_factor[4.0].get(cat, float("nan")),
+            })
+    return {"rows": rows, "records": all_records}

@@ -1,0 +1,132 @@
+"""The evaluation corpus (Section 5.1.1) and platform scaling rules.
+
+Paper sizes: 200 / 1 000 / 2 000 / 4 000 / 8 000 (small), 10 000 / 15 000 /
+18 000 (middle), 20 000 / 25 000 / 30 000 (big), plus five real workflows of
+11-58 tasks. A pure-Python run of the full corpus takes hours, so the
+default sizes are the paper's divided by :data:`DEFAULT_SCALE` (size
+*ordering and spread* are preserved; EXPERIMENTS.md records that the
+result shapes are stable across scales). Set ``REPRO_FULL=1`` to run the
+paper's sizes, or ``REPRO_SCALE=<divisor>`` for anything in between.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
+from repro.generators.realworld import REAL_WORKFLOW_NAMES, generate_real_workflow
+from repro.platform.cluster import Cluster
+from repro.utils.rng import SeedLike, stable_hash
+from repro.workflow.graph import Workflow
+
+#: paper task counts per size category
+PAPER_SIZES: Dict[str, Tuple[int, ...]] = {
+    "small": (200, 1_000, 2_000, 4_000, 8_000),
+    "mid": (10_000, 15_000, 18_000),
+    "big": (20_000, 25_000, 30_000),
+}
+
+SIZE_CATEGORIES = ("real", "small", "mid", "big")
+
+#: default down-scaling divisor for laptop-scale runs
+DEFAULT_SCALE = 50.0
+
+#: never generate fewer tasks than this (degenerate graphs otherwise)
+MIN_TASKS = 16
+
+
+def synthetic_sizes(full: Optional[bool] = None) -> Dict[str, Tuple[int, ...]]:
+    """Per-category task counts, honouring ``REPRO_FULL``/``REPRO_SCALE``."""
+    if full is None:
+        full = os.environ.get("REPRO_FULL", "") == "1"
+    if full:
+        return dict(PAPER_SIZES)
+    scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+    return {
+        cat: tuple(max(MIN_TASKS, round(n / scale)) for n in sizes)
+        for cat, sizes in PAPER_SIZES.items()
+    }
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One workflow of the corpus plus its grouping metadata."""
+
+    name: str
+    family: str
+    category: str  # real | small | mid | big
+    n_tasks_requested: int
+    workflow: Workflow
+
+    @property
+    def n_tasks(self) -> int:
+        return self.workflow.n_tasks
+
+
+def synthetic_instances(seed: SeedLike = 0, full: Optional[bool] = None,
+                        families: Optional[Sequence[str]] = None,
+                        sizes: Optional[Dict[str, Tuple[int, ...]]] = None,
+                        work_factor: float = 1.0) -> List[Instance]:
+    """All synthetic instances: families x sizes, deterministic per (family, size)."""
+    families = tuple(families) if families is not None else WORKFLOW_FAMILIES
+    sizes = sizes if sizes is not None else synthetic_sizes(full)
+    base = int(seed) if seed is not None and not hasattr(seed, "integers") else 0
+    out: List[Instance] = []
+    for family in families:
+        for category, counts in sizes.items():
+            for n in counts:
+                inst_seed = (base + stable_hash(f"{family}:{n}")) % (2 ** 31)
+                wf = generate_workflow(family, n, seed=inst_seed,
+                                       work_factor=work_factor)
+                out.append(Instance(
+                    name=f"{family}-{n}",
+                    family=family,
+                    category=category,
+                    n_tasks_requested=n,
+                    workflow=wf,
+                ))
+    return out
+
+
+def real_instances(seed: SeedLike = 0, work_factor: float = 1.0) -> List[Instance]:
+    """The five real-world-like workflows (category ``"real"``)."""
+    return [
+        Instance(
+            name=name,
+            family=name,
+            category="real",
+            n_tasks_requested=0,
+            workflow=generate_real_workflow(name, seed=seed, work_factor=work_factor),
+        )
+        for name in REAL_WORKFLOW_NAMES
+    ]
+
+
+def build_corpus(seed: SeedLike = 0, full: Optional[bool] = None,
+                 families: Optional[Sequence[str]] = None,
+                 include_real: bool = True,
+                 sizes: Optional[Dict[str, Tuple[int, ...]]] = None,
+                 work_factor: float = 1.0) -> List[Instance]:
+    """The complete corpus: real + synthetic instances."""
+    corpus: List[Instance] = []
+    if include_real:
+        corpus.extend(real_instances(seed=seed, work_factor=work_factor))
+    corpus.extend(synthetic_instances(seed=seed, full=full, families=families,
+                                      sizes=sizes, work_factor=work_factor))
+    return corpus
+
+
+def scaled_cluster_for(wf: Workflow, cluster: Cluster,
+                       headroom: float = 1.001) -> Cluster:
+    """Scale cluster memories so the biggest task has a host (Sec. 5.1.2).
+
+    "For simulated workflows, we increase memory sizes proportionally until
+    the task with the biggest memory requirement still has a processor it
+    could be executed on." No-op when the workflow already fits.
+    """
+    peak = wf.max_task_requirement()
+    if peak <= cluster.max_memory():
+        return cluster
+    return cluster.scaled_memories(peak / cluster.max_memory() * headroom)

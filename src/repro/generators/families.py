@@ -1,0 +1,262 @@
+"""Topology generators for the seven WfCommons model workflow families.
+
+Each generator takes the desired number of tasks and produces a DAG whose
+*shape* follows the published structure of the family; the paper's
+evaluation depends on exactly these shapes (fan-out-heavy families such as
+BLAST/BWA/Seismology benefit most from heterogeneity; chain-like families
+such as SoyKB/Epigenomics least — Sections 5.2.5-5.2.6). Weight assignment
+is separate (:mod:`repro.generators.weights`).
+
+The achieved task count may deviate from the request by a few tasks
+(structural tasks such as mergers are indivisible); generators solve for
+the replication factor that gets closest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.generators.weights import PAPER_WEIGHTS, WeightRanges, assign_paper_weights
+from repro.utils.rng import SeedLike
+from repro.workflow.graph import Workflow
+
+#: family name -> topology builder(n_tasks) -> Workflow
+_BUILDERS: Dict[str, Callable[[int], Workflow]] = {}
+
+#: the two most / least fanned-out families per the paper's discussion
+FANNED_OUT_FAMILIES = ("bwa", "blast")
+CHAIN_LIKE_FAMILIES = ("soykb", "epigenomics")
+
+
+def _register(name: str):
+    def deco(fn):
+        _BUILDERS[name] = fn
+        return fn
+    return deco
+
+
+@_register("seismology")
+def seismology_topology(n_tasks: int) -> Workflow:
+    """Seismology: massive two-level fan — N sG1IterDecon into one combiner.
+
+    The most extreme fan-out/fan-in shape of the corpus.
+    """
+    n_decon = max(1, n_tasks - 2)
+    wf = Workflow(f"seismology-{n_decon + 2}")
+    wf.add_task("prepare")
+    wf.add_task("siftSTFByMisfit")
+    for i in range(n_decon):
+        t = f"sG1IterDecon:{i}"
+        wf.add_task(t)
+        wf.add_edge("prepare", t)
+        wf.add_edge(t, "siftSTFByMisfit")
+    return wf
+
+
+@_register("blast")
+def blast_topology(n_tasks: int) -> Workflow:
+    """BLAST: split_fasta -> N parallel blastall -> cat_blast -> cleanup."""
+    n_blast = max(1, n_tasks - 3)
+    wf = Workflow(f"blast-{n_blast + 3}")
+    wf.add_task("split_fasta")
+    wf.add_task("cat_blast")
+    wf.add_task("cleanup")
+    wf.add_edge("cat_blast", "cleanup")
+    for i in range(n_blast):
+        t = f"blastall:{i}"
+        wf.add_task(t)
+        wf.add_edge("split_fasta", t)
+        wf.add_edge(t, "cat_blast")
+    return wf
+
+
+@_register("bwa")
+def bwa_topology(n_tasks: int) -> Workflow:
+    """BWA: prepare+index -> N parallel aligners -> merge -> sort -> dedup."""
+    n_align = max(1, n_tasks - 5)
+    wf = Workflow(f"bwa-{n_align + 5}")
+    for t in ("fastq_reduce", "bwa_index", "merge_sam", "sort_sam", "dedup"):
+        wf.add_task(t)
+    wf.add_edge("fastq_reduce", "bwa_index")
+    wf.add_edge("merge_sam", "sort_sam")
+    wf.add_edge("sort_sam", "dedup")
+    for i in range(n_align):
+        t = f"bwa_align:{i}"
+        wf.add_task(t)
+        wf.add_edge("bwa_index", t)
+        wf.add_edge(t, "merge_sam")
+    return wf
+
+
+@_register("epigenomics")
+def epigenomics_topology(n_tasks: int) -> Workflow:
+    """Epigenomics: fastqSplit -> C parallel 4-stage chains -> merge chain.
+
+    Chain-like: parallelism exists but each branch is a pipeline, so the
+    fan-out per level is modest.
+    """
+    chain_stages = ("filterContams", "sol2sanger", "fast2bfq", "map")
+    tail = ("mapMerge", "maqIndex", "pileup")
+    n_chains = max(1, round((n_tasks - 1 - len(tail)) / len(chain_stages)))
+    wf = Workflow(f"epigenomics-{1 + n_chains * len(chain_stages) + len(tail)}")
+    wf.add_task("fastqSplit")
+    for t in tail:
+        wf.add_task(t)
+    wf.add_edge("mapMerge", "maqIndex")
+    wf.add_edge("maqIndex", "pileup")
+    for i in range(n_chains):
+        prev = "fastqSplit"
+        for stage in chain_stages:
+            t = f"{stage}:{i}"
+            wf.add_task(t)
+            wf.add_edge(prev, t)
+            prev = t
+        wf.add_edge(prev, "mapMerge")
+    return wf
+
+
+@_register("montage")
+def montage_topology(n_tasks: int) -> Workflow:
+    """Montage: project fan, pairwise diff-fits, background model, re-fan.
+
+    mProject(N) -> mDiffFit(~N, adjacent pairs) -> mConcatFit -> mBgModel
+    -> mBackground(N) -> mImgtbl -> mAdd -> mShrink -> mJPEG.
+    """
+    fixed = 6  # source + concat + bgmodel + imgtbl/add/shrink/jpeg-ish tail
+    n_proj = max(2, round((n_tasks - fixed) / 3))
+    wf = Workflow(f"montage-{3 * n_proj - 1 + fixed}")
+    for t in ("mHdr", "mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"):
+        wf.add_task(t)
+    wf.add_edge("mConcatFit", "mBgModel")
+    wf.add_edge("mImgtbl", "mAdd")
+    wf.add_edge("mAdd", "mShrink")
+    wf.add_edge("mShrink", "mJPEG")
+    projects = []
+    for i in range(n_proj):
+        t = f"mProject:{i}"
+        wf.add_task(t)
+        wf.add_edge("mHdr", t)
+        projects.append(t)
+    for i in range(n_proj - 1):
+        t = f"mDiffFit:{i}"
+        wf.add_task(t)
+        wf.add_edge(projects[i], t)
+        wf.add_edge(projects[i + 1], t)
+        wf.add_edge(t, "mConcatFit")
+    for i in range(n_proj):
+        t = f"mBackground:{i}"
+        wf.add_task(t)
+        wf.add_edge("mBgModel", t)
+        wf.add_edge(projects[i], t)
+        wf.add_edge(t, "mImgtbl")
+    return wf
+
+
+@_register("genome")
+def genome_topology(n_tasks: int) -> Workflow:
+    """1000Genome: per-chromosome individual fans, merge+sifting, analyses.
+
+    Per chromosome: N individuals -> individuals_merge; sifting (from the
+    source); then M mutation_overlap and M frequency tasks reading both
+    the merge and the sifting output. Chromosomes are independent.
+    """
+    n_chrom = max(1, round(math.sqrt(n_tasks) / 4))
+    per_chrom = max(6, round((n_tasks - 1) / n_chrom))
+    n_ind = max(2, (per_chrom - 2) * 2 // 3)
+    n_analysis = max(2, per_chrom - 2 - n_ind)
+    wf = Workflow(f"genome-{1 + n_chrom * (n_ind + 2 + n_analysis)}")
+    wf.add_task("start")
+    for c in range(n_chrom):
+        merge = f"individuals_merge:{c}"
+        sift = f"sifting:{c}"
+        wf.add_task(merge)
+        wf.add_task(sift)
+        wf.add_edge("start", sift)
+        for i in range(n_ind):
+            t = f"individuals:{c}:{i}"
+            wf.add_task(t)
+            wf.add_edge("start", t)
+            wf.add_edge(t, merge)
+        half = max(1, n_analysis // 2)
+        for i in range(n_analysis):
+            kind = "mutation_overlap" if i < half else "frequency"
+            t = f"{kind}:{c}:{i}"
+            wf.add_task(t)
+            wf.add_edge(merge, t)
+            wf.add_edge(sift, t)
+    return wf
+
+
+@_register("soykb")
+def soykb_topology(n_tasks: int) -> Workflow:
+    """SoyKB: a long opening chain, then fork-join segments.
+
+    "Soykb starts with a chain of tasks and ends with a fork-join segment.
+    With growing size, however, there is more parallelism to be utilized."
+    The opening chain keeps a fixed length, so small instances are mostly
+    sequential while large ones are dominated by the forks.
+    """
+    chain_len = 5
+    tail_len = 2
+    n_samples = max(1, round((n_tasks - chain_len - tail_len - 2) / 4))
+    wf = Workflow(f"soykb-{chain_len + 4 * n_samples + 2 + tail_len}")
+    prev = None
+    for i in range(chain_len):
+        t = f"alignment:{i}"
+        wf.add_task(t)
+        if prev is not None:
+            wf.add_edge(prev, t)
+        prev = t
+    fork_root = prev
+    # first fork-join: per-sample 3-task haplotype chains
+    wf.add_task("combine_variants")
+    for s in range(n_samples):
+        p = fork_root
+        for stage in ("haplotype_caller", "select_variants", "filtering"):
+            t = f"{stage}:{s}"
+            wf.add_task(t)
+            wf.add_edge(p, t)
+            p = t
+        wf.add_edge(p, "combine_variants")
+    # second fork-join: per-sample genotyping
+    wf.add_task("merge_gcvf")
+    for s in range(n_samples):
+        t = f"genotype_gvcfs:{s}"
+        wf.add_task(t)
+        wf.add_edge("combine_variants", t)
+        wf.add_edge(t, "merge_gcvf")
+    prev = "merge_gcvf"
+    for i in range(tail_len):
+        t = f"snpeff:{i}"
+        wf.add_task(t)
+        wf.add_edge(prev, t)
+        prev = t
+    return wf
+
+
+#: the family names of the paper's evaluation, in its order
+WORKFLOW_FAMILIES = ("genome", "blast", "bwa", "epigenomics", "montage",
+                     "seismology", "soykb")
+
+
+def generate_topology(family: str, n_tasks: int) -> Workflow:
+    """Unweighted topology of ``family`` with approximately ``n_tasks`` tasks."""
+    try:
+        builder = _BUILDERS[family]
+    except KeyError:
+        raise KeyError(f"unknown workflow family {family!r}; "
+                       f"valid: {sorted(_BUILDERS)}") from None
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    wf = builder(n_tasks)
+    wf.check_acyclic()
+    return wf
+
+
+def generate_workflow(family: str, n_tasks: int, seed: SeedLike = None,
+                      ranges: WeightRanges = PAPER_WEIGHTS,
+                      work_factor: float = 1.0) -> Workflow:
+    """A fully weighted workflow of ``family`` (topology + paper weights)."""
+    wf = generate_topology(family, n_tasks)
+    return assign_paper_weights(wf, seed=seed, ranges=ranges, work_factor=work_factor)

@@ -1,0 +1,66 @@
+"""Random layered DAGs for tests and property-based checks.
+
+Not part of the paper's corpus; used to exercise the partitioner, the
+traversal engines and the heuristics on adversarial shapes the structured
+family generators never produce.
+"""
+
+from __future__ import annotations
+
+from repro.generators.weights import PAPER_WEIGHTS, WeightRanges, assign_paper_weights
+from repro.utils.rng import SeedLike, make_rng
+from repro.workflow.graph import Workflow
+
+
+def random_layered_dag(n_tasks: int, width: int = 8, edge_prob: float = 0.3,
+                       seed: SeedLike = None, max_skip: int = 2,
+                       connect: bool = True) -> Workflow:
+    """Random DAG with tasks arranged in layers of at most ``width``.
+
+    Edges go from a layer to one of the next ``max_skip`` layers with
+    probability ``edge_prob``. With ``connect=True`` every non-source task
+    is guaranteed at least one parent (single connected "phase" structure),
+    which keeps instances representative of workflow DAGs.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    rng = make_rng(seed)
+    wf = Workflow(f"random-{n_tasks}")
+    layers = []
+    remaining = n_tasks
+    li = 0
+    while remaining > 0:
+        size = int(rng.integers(1, width + 1))
+        size = min(size, remaining)
+        layer = [f"t{li}:{j}" for j in range(size)]
+        for t in layer:
+            wf.add_task(t)
+        layers.append(layer)
+        remaining -= size
+        li += 1
+
+    for i, layer in enumerate(layers):
+        for u in layer:
+            for skip in range(1, max_skip + 1):
+                if i + skip >= len(layers):
+                    break
+                for v in layers[i + skip]:
+                    if rng.random() < edge_prob / skip:
+                        wf.add_edge(u, v)
+    if connect:
+        for i in range(1, len(layers)):
+            for v in layers[i]:
+                if wf.in_degree(v) == 0:
+                    donor_layer = layers[i - 1]
+                    u = donor_layer[int(rng.integers(0, len(donor_layer)))]
+                    wf.add_edge(u, v)
+    return wf
+
+
+def random_workflow(n_tasks: int, width: int = 8, edge_prob: float = 0.3,
+                    seed: SeedLike = None,
+                    ranges: WeightRanges = PAPER_WEIGHTS) -> Workflow:
+    """Random layered DAG with paper-style weights."""
+    rng = make_rng(seed)
+    wf = random_layered_dag(n_tasks, width=width, edge_prob=edge_prob, seed=rng)
+    return assign_paper_weights(wf, seed=rng, ranges=ranges)

@@ -1,0 +1,50 @@
+"""Task and edge weight models (Section 5.1.2, 'Generation of ... weights').
+
+For simulated workflows the paper draws uniformly distributed values:
+edge weights in [1, 10], workloads in [1, 1000], memory weights in
+[1, 192] — "when doing so, we try to mimic the weights observed in the
+historical data, hence e.g. the low lower bounds for the workloads."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.workflow.graph import Workflow
+
+
+@dataclass(frozen=True)
+class WeightRanges:
+    """Uniform ranges for the three weight kinds."""
+
+    edge: Tuple[float, float] = (1.0, 10.0)
+    work: Tuple[float, float] = (1.0, 1000.0)
+    memory: Tuple[float, float] = (1.0, 192.0)
+
+
+#: the exact ranges of the paper
+PAPER_WEIGHTS = WeightRanges()
+
+
+def assign_paper_weights(wf: Workflow, seed: SeedLike = None,
+                         ranges: WeightRanges = PAPER_WEIGHTS,
+                         work_factor: float = 1.0) -> Workflow:
+    """Assign uniform random weights in place and return ``wf``.
+
+    ``work_factor`` scales the drawn workloads (the 4x computational-demand
+    experiment of Section 5.2.4 uses ``work_factor=4``). Deterministic
+    given ``seed``: tasks and edges are visited in insertion order.
+    """
+    rng = make_rng(seed)
+    for u in wf.tasks():
+        wf.set_work(u, float(rng.uniform(*ranges.work)) * work_factor)
+        wf.set_memory(u, float(rng.uniform(*ranges.memory)))
+    rescale = {}
+    for u, v, _ in wf.edges():
+        rescale[(u, v)] = float(rng.uniform(*ranges.edge))
+    for (u, v), c in rescale.items():
+        wf.remove_edge(u, v)
+        wf.add_edge(u, v, c)
+    return wf

@@ -1,0 +1,57 @@
+"""Block memory requirement ``r_{V_i}`` with caching.
+
+Step 2 and Step 3 of DagHetPart recompute block requirements constantly —
+after every tentative merge and every repartition. Requirements depend only
+on the block's task set (given a fixed workflow), so a cache keyed by the
+frozen task set removes the dominant cost from the merge search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable
+
+from repro.memdag.traversal import TraversalResult, memdag_traversal
+from repro.workflow.graph import Workflow
+
+Node = Hashable
+
+
+def block_requirement(wf: Workflow, block: Iterable[Node],
+                      methods=("best_first", "layered", "sp")) -> TraversalResult:
+    """Memory requirement of a block: best traversal found and its peak.
+
+    For a singleton block the peak is exactly ``r_u``.
+    """
+    return memdag_traversal(wf, set(block), methods=methods)
+
+
+class RequirementCache:
+    """Memoizes :func:`block_requirement` for a fixed workflow.
+
+    The heuristics thread one instance through all steps; tests can inspect
+    ``hits``/``misses`` to assert that the merge search reuses results.
+    """
+
+    def __init__(self, wf: Workflow, methods=("best_first", "layered", "sp")):
+        self.wf = wf
+        self.methods = tuple(methods)
+        self._store: Dict[FrozenSet[Node], TraversalResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def requirement(self, block: Iterable[Node]) -> TraversalResult:
+        key = frozenset(block)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = block_requirement(self.wf, key, self.methods)
+        self._store[key] = result
+        return result
+
+    def peak(self, block: Iterable[Node]) -> float:
+        return self.requirement(block).peak
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,195 @@
+"""Recognition and decomposition of two-terminal series-parallel DAGs.
+
+A DAG with a single source ``s`` and single sink ``t`` is two-terminal
+series-parallel (TTSP) iff it can be reduced to the single edge ``(s, t)``
+by repeatedly applying
+
+* **series reduction** — replace a vertex ``w`` with in-degree 1 and
+  out-degree 1 by fusing its two incident edges, and
+* **parallel reduction** — fuse two parallel edges between the same pair.
+
+(Valdes, Tarjan, Lawler 1982.) The reductions are recorded to build an
+SP-tree whose leaves are original edges; the traversal optimizer walks this
+tree, concatenating series children and optimally interleaving parallel
+children (:mod:`repro.memdag.traversal`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+Node = Hashable
+
+
+@dataclass
+class SPTree:
+    """A node of the series-parallel decomposition tree.
+
+    ``kind`` is ``"leaf"``, ``"series"`` or ``"parallel"``. For a series
+    node, ``via`` lists the junction vertices between consecutive children
+    (``len(via) == len(children) - 1``); these vertices were removed by
+    series reductions and must execute between the corresponding children.
+    ``source``/``sink`` are the terminals of the sub-DAG this node spans.
+    """
+
+    kind: str
+    source: Node
+    sink: Node
+    children: List["SPTree"] = field(default_factory=list)
+    via: List[Node] = field(default_factory=list)
+
+    def internal_vertices(self) -> List[Node]:
+        """All vertices strictly between source and sink, in some valid order."""
+        if self.kind == "leaf":
+            return []
+        out: List[Node] = []
+        if self.kind == "series":
+            for i, child in enumerate(self.children):
+                out.extend(child.internal_vertices())
+                if i < len(self.via):
+                    out.append(self.via[i])
+            return out
+        for child in self.children:
+            out.extend(child.internal_vertices())
+        return out
+
+
+def _series_node(left: SPTree, mid: Node, right: SPTree) -> SPTree:
+    """Compose ``left -> mid -> right``, flattening nested series nodes."""
+    children: List[SPTree] = []
+    via: List[Node] = []
+    if left.kind == "series":
+        children.extend(left.children)
+        via.extend(left.via)
+    else:
+        children.append(left)
+    via.append(mid)
+    if right.kind == "series":
+        children.extend(right.children)
+        via.extend(right.via)
+    else:
+        children.append(right)
+    return SPTree("series", left.source, right.sink, children, via)
+
+
+def _parallel_node(a: SPTree, b: SPTree) -> SPTree:
+    """Compose two parallel branches, flattening nested parallel nodes."""
+    children: List[SPTree] = []
+    for part in (a, b):
+        if part.kind == "parallel":
+            children.extend(part.children)
+        else:
+            children.append(part)
+    return SPTree("parallel", a.source, a.sink, children)
+
+
+def sp_decompose(edges: List[Tuple[Node, Node]], source: Node, sink: Node) -> Optional[SPTree]:
+    """Decompose the two-terminal DAG given by ``edges`` into an SP-tree.
+
+    Returns ``None`` if the DAG is not TTSP. Runs in O(E log E); each
+    reduction removes an edge and candidates are tracked incrementally.
+    """
+    if not edges:
+        return None
+    edge_ids = itertools.count()
+    trees: Dict[int, SPTree] = {}
+    # adjacency: for each vertex, dict of incident edge-id -> (other endpoint, is_out)
+    out_adj: Dict[Node, Set[int]] = {}
+    in_adj: Dict[Node, Set[int]] = {}
+    endpoints: Dict[int, Tuple[Node, Node]] = {}
+    # pair index for parallel detection: (u, v) -> set of edge ids
+    pairs: Dict[Tuple[Node, Node], Set[int]] = {}
+
+    def add_edge(u: Node, v: Node, tree: SPTree) -> int:
+        eid = next(edge_ids)
+        trees[eid] = tree
+        endpoints[eid] = (u, v)
+        out_adj.setdefault(u, set()).add(eid)
+        in_adj.setdefault(v, set()).add(eid)
+        out_adj.setdefault(v, set())
+        in_adj.setdefault(u, set())
+        pairs.setdefault((u, v), set()).add(eid)
+        return eid
+
+    def remove_edge(eid: int) -> None:
+        u, v = endpoints.pop(eid)
+        out_adj[u].discard(eid)
+        in_adj[v].discard(eid)
+        pairs[(u, v)].discard(eid)
+        del trees[eid]
+
+    for u, v in edges:
+        if u == v:
+            return None
+        add_edge(u, v, SPTree("leaf", u, v))
+
+    # worklists
+    series_candidates = [w for w in out_adj if w not in (source, sink)
+                         and len(in_adj[w]) == 1 and len(out_adj[w]) == 1]
+    parallel_candidates = [pair for pair, ids in pairs.items() if len(ids) >= 2]
+
+    while True:
+        progressed = False
+
+        while parallel_candidates:
+            pair = parallel_candidates.pop()
+            ids = pairs.get(pair, set())
+            while len(ids) >= 2:
+                it = iter(sorted(ids))
+                e1, e2 = next(it), next(it)
+                t = _parallel_node(trees[e1], trees[e2])
+                remove_edge(e1)
+                remove_edge(e2)
+                add_edge(pair[0], pair[1], t)
+                progressed = True
+                ids = pairs.get(pair, set())
+            # endpoints of the merged edge may have become series-reducible
+            for w in pair:
+                if w not in (source, sink) and len(in_adj[w]) == 1 and len(out_adj[w]) == 1:
+                    series_candidates.append(w)
+
+        while series_candidates:
+            w = series_candidates.pop()
+            if w in (source, sink) or w not in in_adj:
+                continue
+            if len(in_adj[w]) != 1 or len(out_adj[w]) != 1:
+                continue
+            (e_in,) = in_adj[w]
+            (e_out,) = out_adj[w]
+            if e_in == e_out:
+                return None
+            u = endpoints[e_in][0]
+            x = endpoints[e_out][1]
+            if u == x and u in (source, sink) and len(pairs.get((u, x), ())) == 0:
+                # series reduction would create a self-loop at a terminal
+                return None
+            t = _series_node(trees[e_in], w, trees[e_out])
+            remove_edge(e_in)
+            remove_edge(e_out)
+            del in_adj[w], out_adj[w]
+            if u == x:
+                return None  # self-loop: not a DAG shape we accept
+            add_edge(u, x, t)
+            progressed = True
+            if len(pairs[(u, x)]) >= 2:
+                parallel_candidates.append((u, x))
+            for y in (u, x):
+                if y not in (source, sink) and len(in_adj[y]) == 1 and len(out_adj[y]) == 1:
+                    series_candidates.append(y)
+
+        if not progressed:
+            break
+
+    remaining = list(trees.items())
+    if len(remaining) == 1:
+        eid, tree = remaining[0]
+        if endpoints[eid] == (source, sink):
+            return tree
+    return None
+
+
+def is_series_parallel(edges: List[Tuple[Node, Node]], source: Node, sink: Node) -> bool:
+    """Whether the two-terminal DAG is series-parallel."""
+    return sp_decompose(edges, source, sink) is not None

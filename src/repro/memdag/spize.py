@@ -1,0 +1,69 @@
+"""Level-based SP-ization: a layered traversal for non-SP blocks.
+
+Kayaaslan et al. [18] transform a general DAG into a series-parallel one
+before optimizing the traversal; any SP-ization adds synchronization, so the
+resulting peak is an upper bound realized by an actual topological order of
+the *original* graph. The cheapest useful SP-ization is the layered one:
+the block becomes a series of levels, each level a parallel composition of
+its tasks. The corresponding traversal executes level by level; within a
+level (tasks are mutually independent) the hill-valley merge orders the
+tasks optimally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.memdag.segments import Segment, merge_segment_sequences
+from repro.workflow.graph import Workflow
+
+Node = Hashable
+
+
+def layered_traversal(wf: Workflow, block: Optional[Set[Node]] = None) -> List[Node]:
+    """Level-by-level traversal; within each level, optimal independent merge.
+
+    Levels are longest-path depths inside the block. Tasks of a level are
+    pairwise independent, so each is a one-segment sequence and the
+    hill-valley merge rule gives the best intra-level order.
+    """
+    block_set = set(block) if block is not None else set(wf.tasks())
+
+    # longest-path level restricted to block-internal edges
+    levels: Dict[Node, int] = {}
+    indeg = {u: sum(1 for p in wf.parents(u) if p in block_set) for u in block_set}
+    ready = [u for u in block_set if indeg[u] == 0]
+    head = 0
+    while head < len(ready):
+        u = ready[head]
+        head += 1
+        lvl = 0
+        for p in wf.parents(u):
+            if p in block_set:
+                lvl = max(lvl, levels[p] + 1)
+        levels[u] = lvl
+        for v in wf.children(u):
+            if v in block_set:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+    if len(levels) != len(block_set):
+        raise ValueError("block graph contains a cycle")
+
+    by_level: Dict[int, List[Node]] = {}
+    for u, lvl in levels.items():
+        by_level.setdefault(lvl, []).append(u)
+
+    order: List[Node] = []
+    for lvl in sorted(by_level):
+        tasks = by_level[lvl]
+        sequences = []
+        for u in tasks:
+            a = (sum(c for p, c in wf.in_edges(u) if p not in block_set)
+                 + wf.memory(u) + wf.out_cost(u))
+            freed = sum(c for p, c in wf.in_edges(u) if p in block_set)
+            delta = wf.out_cost(u) - freed
+            sequences.append([Segment((u,), a, delta)])
+        merged, _ = merge_segment_sequences(sequences)
+        order.extend(merged)
+    return order

@@ -1,0 +1,133 @@
+"""Weighted DAG representation used inside the multilevel partitioner.
+
+A :class:`CGraph` node represents a *cluster* of original workflow tasks;
+contraction merges clusters and sums node weights and parallel edge
+weights. The workflow's semantics (work/memory distinction, external
+edges) are irrelevant at this layer — the partitioner only needs one scalar
+node weight for balancing and one scalar edge weight for the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+from repro.utils.errors import CyclicWorkflowError
+from repro.workflow.graph import Workflow
+
+Node = Hashable
+
+
+class CGraph:
+    """Mutable weighted DAG of clusters with contraction support."""
+
+    __slots__ = ("weight", "succ", "pred", "members")
+
+    def __init__(self) -> None:
+        self.weight: Dict[Node, float] = {}
+        self.succ: Dict[Node, Dict[Node, float]] = {}
+        self.pred: Dict[Node, Dict[Node, float]] = {}
+        self.members: Dict[Node, List[Node]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_workflow(cls, wf: Workflow, node_weight) -> "CGraph":
+        """Build the finest-level graph; ``node_weight(u) -> float``."""
+        g = cls()
+        for u in wf.tasks():
+            g.weight[u] = float(node_weight(u))
+            g.succ[u] = {}
+            g.pred[u] = {}
+            g.members[u] = [u]
+        for u, v, c in wf.edges():
+            g.succ[u][v] = g.succ[u].get(v, 0.0) + c
+            g.pred[v][u] = g.pred[v].get(u, 0.0) + c
+        return g
+
+    @classmethod
+    def from_subset(cls, wf: Workflow, nodes: Iterable[Node], node_weight) -> "CGraph":
+        """Finest-level graph induced on ``nodes`` (block bisection)."""
+        node_set = set(nodes)
+        g = cls()
+        for u in wf.tasks():
+            if u not in node_set:
+                continue
+            g.weight[u] = float(node_weight(u))
+            g.succ[u] = {}
+            g.pred[u] = {}
+            g.members[u] = [u]
+        for u in g.weight:
+            for v, c in wf.out_edges(u):
+                if v in node_set:
+                    g.succ[u][v] = g.succ[u].get(v, 0.0) + c
+                    g.pred[v][u] = g.pred[v].get(u, 0.0) + c
+        return g
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.weight)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self.weight)
+
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.succ.values())
+
+    def total_weight(self) -> float:
+        return sum(self.weight.values())
+
+    def in_degree(self, u: Node) -> int:
+        return len(self.pred[u])
+
+    def out_degree(self, u: Node) -> int:
+        return len(self.succ[u])
+
+    # ------------------------------------------------------------------
+    def contract(self, u: Node, v: Node) -> Node:
+        """Merge ``v`` into ``u`` (edge ``(u, v)`` must exist).
+
+        Caller is responsible for choosing an acyclicity-safe pair (see
+        :func:`repro.partition.coarsen.safe_to_contract`). The merged
+        cluster keeps the id ``u``.
+        """
+        if v not in self.succ[u]:
+            raise KeyError(f"no edge ({u!r}, {v!r}) to contract")
+        del self.succ[u][v]
+        del self.pred[v][u]
+        for x, c in self.succ[v].items():
+            self.succ[u][x] = self.succ[u].get(x, 0.0) + c
+            del self.pred[x][v]
+            self.pred[x][u] = self.pred[x].get(u, 0.0) + c
+        for p, c in self.pred[v].items():
+            self.succ[p][u] = self.succ[p].get(u, 0.0) + c
+            del self.succ[p][v]
+            self.pred[u][p] = self.pred[u].get(p, 0.0) + c
+        self.weight[u] += self.weight[v]
+        self.members[u].extend(self.members[v])
+        del self.weight[v], self.succ[v], self.pred[v], self.members[v]
+        return u
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Node]:
+        """Kahn order; raises :class:`CyclicWorkflowError` on a cycle."""
+        indeg = {u: len(self.pred[u]) for u in self.weight}
+        ready = [u for u in self.weight if indeg[u] == 0]
+        order: List[Node] = []
+        head = 0
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            order.append(u)
+            for v in self.succ[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != len(self.weight):
+            raise CyclicWorkflowError()
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except CyclicWorkflowError:
+            return False

@@ -1,0 +1,117 @@
+"""FM-style acyclicity-preserving refinement.
+
+Blocks are indexed consistently with a topological order (the initial
+partitioner guarantees this), so the quotient's edges always point from
+lower to higher block index. A single-vertex move preserves this invariant
+when restricted to *order-adjacent* blocks:
+
+* ``u`` may move from block ``b`` to ``b+1`` iff every successor of ``u``
+  lies in a block ``>= b+1`` (``u`` is a "sink" of its block);
+* ``u`` may move from ``b`` to ``b-1`` iff every predecessor lies in a
+  block ``<= b-1`` (``u`` is a "source" of its block).
+
+Moves are applied steepest-first while they reduce the weighted edge cut
+and keep every block within the balance tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.partition.contraction import CGraph
+
+Node = Hashable
+
+
+def edge_cut(g: CGraph, part: Dict[Node, int]) -> float:
+    """Total weight of edges crossing between blocks."""
+    return sum(
+        c for u, nbrs in g.succ.items() for v, c in nbrs.items()
+        if part[u] != part[v]
+    )
+
+
+def _move_gain(g: CGraph, part: Dict[Node, int], u: Node, dest: int) -> float:
+    """Cut reduction if ``u`` moves to block ``dest`` (positive = better)."""
+    src = part[u]
+    gain = 0.0
+    for v, c in g.succ[u].items():
+        before = c if part[v] != src else 0.0
+        after = c if part[v] != dest else 0.0
+        gain += before - after
+    for p, c in g.pred[u].items():
+        before = c if part[p] != src else 0.0
+        after = c if part[p] != dest else 0.0
+        gain += before - after
+    return gain
+
+
+def _legal_up(g: CGraph, part: Dict[Node, int], u: Node) -> bool:
+    b = part[u]
+    return all(part[v] >= b + 1 for v in g.succ[u])
+
+
+def _legal_down(g: CGraph, part: Dict[Node, int], u: Node) -> bool:
+    b = part[u]
+    return all(part[p] <= b - 1 for p in g.pred[u])
+
+
+def refine(g: CGraph, part: Dict[Node, int], k: int, eps: float = 0.10,
+           max_passes: int = 4) -> Dict[Node, int]:
+    """Improve ``part`` in place (also returned) by adjacent boundary moves.
+
+    ``eps`` is the balance tolerance: a move may not push the destination
+    block above ``(1 + eps) * total / k`` nor empty the source block.
+    """
+    if k <= 1 or len(g) <= 1:
+        return part
+    total = g.total_weight()
+    cap = (1.0 + eps) * total / k
+    block_weight: Dict[int, float] = {}
+    block_size: Dict[int, int] = {}
+    for u, b in part.items():
+        block_weight[b] = block_weight.get(b, 0.0) + g.weight[u]
+        block_size[b] = block_size.get(b, 0) + 1
+
+    for _ in range(max_passes):
+        moves: List[Tuple[float, int, Node, int]] = []
+        for i, u in enumerate(g.nodes()):
+            b = part[u]
+            if block_size[b] <= 1:
+                continue
+            if _legal_up(g, part, u):
+                dest = b + 1
+                if dest in block_weight or dest < k:
+                    gain = _move_gain(g, part, u, dest)
+                    if gain > 0:
+                        moves.append((gain, -i, u, dest))
+            if _legal_down(g, part, u) and b - 1 >= 0:
+                dest = b - 1
+                gain = _move_gain(g, part, u, dest)
+                if gain > 0:
+                    moves.append((gain, -i, u, dest))
+        if not moves:
+            break
+        moves.sort(reverse=True)
+        applied = 0
+        for gain, _, u, dest in moves:
+            b = part[u]
+            if abs(dest - b) != 1 or block_size.get(b, 0) <= 1:
+                continue
+            if dest > b and not _legal_up(g, part, u):
+                continue
+            if dest < b and not _legal_down(g, part, u):
+                continue
+            if _move_gain(g, part, u, dest) <= 0:
+                continue
+            if block_weight.get(dest, 0.0) + g.weight[u] > cap:
+                continue
+            part[u] = dest
+            block_weight[b] -= g.weight[u]
+            block_size[b] -= 1
+            block_weight[dest] = block_weight.get(dest, 0.0) + g.weight[u]
+            block_size[dest] = block_size.get(dest, 0) + 1
+            applied += 1
+        if applied == 0:
+            break
+    return part

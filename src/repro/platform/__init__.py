@@ -1,0 +1,51 @@
+"""Execution environment model: heterogeneous clusters (Section 3.2).
+
+A :class:`~repro.platform.cluster.Cluster` is a set of
+:class:`~repro.platform.processor.Processor` objects, each with an
+individual memory size ``M_j`` and speed ``s_j``, plus a uniform
+interconnect bandwidth ``beta``. :mod:`repro.platform.presets` builds the
+exact configurations of the paper's evaluation (Tables 2 and 3, plus the
+small/large size variants).
+"""
+
+from repro.platform.processor import Processor
+from repro.platform.bandwidth import (
+    BandwidthModel,
+    UniformBandwidth,
+    LinkBandwidth,
+    GroupedBandwidth,
+)
+from repro.platform.cluster import Cluster
+from repro.platform.presets import (
+    MACHINE_KINDS,
+    MACHINE_KINDS_MOREHET,
+    MACHINE_KINDS_LESSHET,
+    default_cluster,
+    small_cluster,
+    large_cluster,
+    morehet_cluster,
+    lesshet_cluster,
+    nohet_cluster,
+    cluster_by_name,
+    CLUSTER_PRESETS,
+)
+
+__all__ = [
+    "Processor",
+    "BandwidthModel",
+    "UniformBandwidth",
+    "LinkBandwidth",
+    "GroupedBandwidth",
+    "Cluster",
+    "MACHINE_KINDS",
+    "MACHINE_KINDS_MOREHET",
+    "MACHINE_KINDS_LESSHET",
+    "default_cluster",
+    "small_cluster",
+    "large_cluster",
+    "morehet_cluster",
+    "lesshet_cluster",
+    "nohet_cluster",
+    "cluster_by_name",
+    "CLUSTER_PRESETS",
+]

@@ -1,0 +1,128 @@
+"""Heterogeneous interconnect bandwidths (the paper's stated future work).
+
+The paper models a uniform bandwidth ``beta`` and concludes: "As future
+work, we plan ... to add one more level of heterogeneity by considering
+different communication bandwidths." This module implements that level:
+
+* :class:`UniformBandwidth` — the paper's model (default everywhere);
+* :class:`LinkBandwidth` — an explicit per-processor-pair matrix;
+* :class:`GroupedBandwidth` — fast links inside a group, slow links
+  between groups; models the "networks of compute clusters" the paper's
+  introduction motivates (e.g. per-site interconnect vs WAN).
+
+The makespan engine queries ``Cluster.link_bandwidth(p, q)``; blocks not
+yet assigned to processors fall back to the cluster's scalar ``bandwidth``
+so Step 3's estimated makespans remain well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.platform.processor import Processor
+
+ProcLike = Union[Processor, str]
+
+
+def _name(p: ProcLike) -> str:
+    return p.name if isinstance(p, Processor) else p
+
+
+class BandwidthModel:
+    """Base class: bandwidth of the link between two processors."""
+
+    def between(self, p: ProcLike, q: ProcLike) -> float:
+        raise NotImplementedError
+
+    @property
+    def default(self) -> float:
+        """Bandwidth assumed for links whose endpoints are undecided."""
+        raise NotImplementedError
+
+
+class UniformBandwidth(BandwidthModel):
+    """The paper's model: every link has bandwidth ``beta``."""
+
+    def __init__(self, beta: float):
+        if beta <= 0:
+            raise ValueError(f"bandwidth must be positive, got {beta}")
+        self._beta = float(beta)
+
+    def between(self, p: ProcLike, q: ProcLike) -> float:
+        return self._beta
+
+    @property
+    def default(self) -> float:
+        return self._beta
+
+    def __repr__(self) -> str:
+        return f"UniformBandwidth({self._beta:g})"
+
+
+class LinkBandwidth(BandwidthModel):
+    """Explicit per-pair bandwidths with a fallback default.
+
+    Pairs are unordered (the interconnect is symmetric); missing pairs use
+    ``default_beta``.
+    """
+
+    def __init__(self, links: Mapping[Tuple[str, str], float], default_beta: float):
+        if default_beta <= 0:
+            raise ValueError("default bandwidth must be positive")
+        self._links: Dict[frozenset, float] = {}
+        for (a, b), beta in links.items():
+            if beta <= 0:
+                raise ValueError(f"bandwidth of link ({a}, {b}) must be positive")
+            self._links[frozenset((a, b))] = float(beta)
+        self._default = float(default_beta)
+
+    def between(self, p: ProcLike, q: ProcLike) -> float:
+        a, b = _name(p), _name(q)
+        if a == b:
+            return float("inf")  # same processor: no transfer needed
+        return self._links.get(frozenset((a, b)), self._default)
+
+    @property
+    def default(self) -> float:
+        return self._default
+
+    def __repr__(self) -> str:
+        return f"LinkBandwidth({len(self._links)} links, default={self._default:g})"
+
+
+class GroupedBandwidth(BandwidthModel):
+    """Two-level interconnect: intra-group links fast, inter-group slow.
+
+    ``groups`` maps processor name -> group label (e.g. site name). The
+    scalar fallback (for estimated makespans of unassigned blocks) is the
+    *inter*-group bandwidth — the conservative choice, mirroring the
+    paper's overestimating makespan model.
+    """
+
+    def __init__(self, groups: Mapping[str, str], intra_beta: float,
+                 inter_beta: float):
+        if intra_beta <= 0 or inter_beta <= 0:
+            raise ValueError("bandwidths must be positive")
+        self._groups = dict(groups)
+        self._intra = float(intra_beta)
+        self._inter = float(inter_beta)
+
+    def group_of(self, p: ProcLike) -> Optional[str]:
+        return self._groups.get(_name(p))
+
+    def between(self, p: ProcLike, q: ProcLike) -> float:
+        a, b = _name(p), _name(q)
+        if a == b:
+            return float("inf")
+        ga, gb = self._groups.get(a), self._groups.get(b)
+        if ga is not None and ga == gb:
+            return self._intra
+        return self._inter
+
+    @property
+    def default(self) -> float:
+        return self._inter
+
+    def __repr__(self) -> str:
+        return (f"GroupedBandwidth(intra={self._intra:g}, inter={self._inter:g}, "
+                f"{len(set(self._groups.values()))} groups)")

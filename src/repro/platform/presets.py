@@ -1,0 +1,110 @@
+"""Cluster presets reproducing Tables 2 and 3 of the paper.
+
+Default cluster (Table 2): six machine kinds, ``n`` nodes of each kind
+(``n = 6`` by default -> 36 processors; the paper also evaluates a *small*
+cluster with 3 of each kind = 18 and a *large* one with 10 of each = 60).
+
+Heterogeneity variants (Table 3): for **MoreHet**, the smaller half of
+memories is halved and the bigger half doubled (same for speeds); for
+**LessHet** the procedure is reversed, except the biggest memory stays at
+192 "to make sure that the largest memory requirements of tasks can still
+be met". **NoHet** uses only C2 machines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+
+# (kind, speed GHz, memory GB) — Table 2.
+MACHINE_KINDS: List[Tuple[str, float, float]] = [
+    ("local", 4, 16),
+    ("A1", 32, 32),
+    ("A2", 6, 64),
+    ("N1", 12, 16),
+    ("N2", 8, 8),
+    ("C2", 32, 192),
+]
+
+# Table 3, left (MoreHet): local*, A1*, A2*, N1*, N2*, C2*.
+MACHINE_KINDS_MOREHET: List[Tuple[str, float, float]] = [
+    ("local*", 2, 8),
+    ("A1*", 64, 64),
+    ("A2*", 3, 128),
+    ("N1*", 24, 8),
+    ("N2*", 4, 4),
+    ("C2*", 64, 384),
+]
+
+# Table 3, right (LessHet): local', A1', A2', N1', N2', C2'.
+MACHINE_KINDS_LESSHET: List[Tuple[str, float, float]] = [
+    ("local'", 8, 64),
+    ("A1'", 16, 64),
+    ("A2'", 12, 128),
+    ("N1'", 12, 64),
+    ("N2'", 16, 32),
+    ("C2'", 16, 192),
+]
+
+
+def _build(kinds: List[Tuple[str, float, float]], per_kind: int, bandwidth: float,
+           name: str) -> Cluster:
+    procs = [
+        Processor(f"{kind}-{i}", speed, memory, kind=kind)
+        for kind, speed, memory in kinds
+        for i in range(per_kind)
+    ]
+    return Cluster(procs, bandwidth=bandwidth, name=name)
+
+
+def default_cluster(per_kind: int = 6, bandwidth: float = 1.0) -> Cluster:
+    """The 36-node default cluster of Table 2 (6 nodes of each kind)."""
+    return _build(MACHINE_KINDS, per_kind, bandwidth, f"default-{per_kind * len(MACHINE_KINDS)}")
+
+
+def small_cluster(bandwidth: float = 1.0) -> Cluster:
+    """18 processors: 3 of each kind (Section 5.1.2, 'Small and large clusters')."""
+    return _build(MACHINE_KINDS, 3, bandwidth, "small-18")
+
+
+def large_cluster(bandwidth: float = 1.0) -> Cluster:
+    """60 processors: 10 of each kind."""
+    return _build(MACHINE_KINDS, 10, bandwidth, "large-60")
+
+
+def morehet_cluster(per_kind: int = 6, bandwidth: float = 1.0) -> Cluster:
+    """More heterogeneous cluster (Table 3, left)."""
+    return _build(MACHINE_KINDS_MOREHET, per_kind, bandwidth, "morehet")
+
+
+def lesshet_cluster(per_kind: int = 6, bandwidth: float = 1.0) -> Cluster:
+    """Less heterogeneous cluster (Table 3, right)."""
+    return _build(MACHINE_KINDS_LESSHET, per_kind, bandwidth, "lesshet")
+
+
+def nohet_cluster(per_kind: int = 6, bandwidth: float = 1.0) -> Cluster:
+    """Homogeneous cluster: every node is a C2 (Section 5.1.2)."""
+    n = per_kind * len(MACHINE_KINDS)
+    procs = [Processor(f"C2-{i}", 32, 192, kind="C2") for i in range(n)]
+    return Cluster(procs, bandwidth=bandwidth, name="nohet")
+
+
+CLUSTER_PRESETS = {
+    "default": default_cluster,
+    "small": small_cluster,
+    "large": large_cluster,
+    "morehet": morehet_cluster,
+    "lesshet": lesshet_cluster,
+    "nohet": nohet_cluster,
+}
+
+
+def cluster_by_name(name: str, bandwidth: float = 1.0) -> Cluster:
+    """Look up a preset by name; raises ``KeyError`` with the valid names."""
+    try:
+        factory = CLUSTER_PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown cluster preset {name!r}; valid: {sorted(CLUSTER_PRESETS)}") from None
+    return factory(bandwidth=bandwidth)

@@ -1,0 +1,24 @@
+"""Shared utilities: priority queues, RNG plumbing, errors, timing."""
+
+from repro.utils.errors import (
+    ReproError,
+    CyclicWorkflowError,
+    InvalidPartitionError,
+    NoFeasibleMappingError,
+    PartitionSplitError,
+)
+from repro.utils.pqueue import AddressableMaxPQ
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "ReproError",
+    "CyclicWorkflowError",
+    "InvalidPartitionError",
+    "NoFeasibleMappingError",
+    "PartitionSplitError",
+    "AddressableMaxPQ",
+    "make_rng",
+    "spawn_rngs",
+    "Stopwatch",
+]

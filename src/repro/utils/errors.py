@@ -1,0 +1,59 @@
+"""Exception taxonomy for the reproduction library.
+
+Every failure mode the paper describes maps to one of these exceptions so
+that callers (and tests) can distinguish "bad input" from "the platform is
+too small for this workflow", which the paper treats as a legitimate
+outcome ("the user should rather consider using a larger platform").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class CyclicWorkflowError(ReproError):
+    """Raised when an input graph that must be a DAG contains a cycle."""
+
+    def __init__(self, cycle=None, message: str | None = None):
+        self.cycle = list(cycle) if cycle is not None else None
+        if message is None:
+            if self.cycle:
+                message = f"graph contains a cycle through {self.cycle[:8]}"
+            else:
+                message = "graph contains a cycle"
+        super().__init__(message)
+
+
+class InvalidPartitionError(ReproError):
+    """Raised when a partitioning function violates a structural invariant.
+
+    Examples: a block index without any task, a task without a block, or a
+    partition whose quotient graph is cyclic where acyclicity is required.
+    """
+
+
+class NoFeasibleMappingError(ReproError):
+    """Raised when no memory-respecting mapping exists for the given platform.
+
+    Mirrors the paper's failure mode: DagHetMem "may not return any
+    solution if there are some remaining tasks but no more processors
+    available", and DagHetPart Step 3 "may not be able to find a valid
+    assignment". The message records how much work remained unplaced so
+    experiment drivers can count scheduling successes (Section 5.2.2).
+    """
+
+    def __init__(self, message: str, unplaced_tasks: int = 0):
+        super().__init__(message)
+        self.unplaced_tasks = unplaced_tasks
+
+
+class PartitionSplitError(ReproError):
+    """Raised when a block cannot be split any further.
+
+    The multilevel partitioner refuses to split a single task, or a block
+    whose every bisection would violate acyclicity. Step 2 of DagHetPart
+    converts this into an unassigned block (handled in Step 3) rather than
+    failing the whole run.
+    """

@@ -1,0 +1,44 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component (generators, partitioner tie-breaking) takes an
+explicit ``numpy.random.Generator``. These helpers normalise seeds and derive
+independent child streams so that a single experiment seed reproduces the
+whole sweep bit-for-bit, regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from an int seed, generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` so child streams do not overlap even when the
+    parent is consumed concurrently.
+    """
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 63-bit hash of a string (Python's ``hash`` is salted)."""
+    h = 1469598103934665603
+    for ch in text.encode("utf-8"):
+        h ^= ch
+        h = (h * 1099511628211) & 0x7FFFFFFFFFFFFFFF
+    return h

@@ -1,0 +1,66 @@
+"""Wall-clock timing used by the runtime experiments (Figs. 8-9, Table 4)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    The experiment runner wraps each heuristic invocation in a lap so the
+    runtime figures can report per-phase times without the algorithms
+    knowing about the harness.
+    """
+
+    def __init__(self) -> None:
+        self._laps: Dict[str, float] = {}
+        self._start: Optional[float] = None
+        self._current: Optional[str] = None
+
+    def start(self, name: str) -> None:
+        if self._current is not None:
+            raise RuntimeError(f"lap '{self._current}' is still running")
+        self._current = name
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._current is None or self._start is None:
+            raise RuntimeError("no lap running")
+        elapsed = time.perf_counter() - self._start
+        self._laps[self._current] = self._laps.get(self._current, 0.0) + elapsed
+        self._current = None
+        self._start = None
+        return elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        if self._current is None:
+            self.start("total")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def lap(self, name: str) -> "_LapContext":
+        return _LapContext(self, name)
+
+    @property
+    def laps(self) -> Dict[str, float]:
+        return dict(self._laps)
+
+    def total(self) -> float:
+        return sum(self._laps.values())
+
+
+class _LapContext:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+
+    def __enter__(self) -> Stopwatch:
+        self._watch.start(self._name)
+        return self._watch
+
+    def __exit__(self, *exc) -> None:
+        self._watch.stop()

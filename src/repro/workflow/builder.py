@@ -1,0 +1,120 @@
+"""Fluent construction of workflow DAGs.
+
+Hand-writing ``add_task``/``add_edge`` calls for fork-join pipelines is
+error-prone; the builder names the common patterns:
+
+>>> wf = (WorkflowBuilder("pipeline")
+...       .task("ingest", work=10, memory=4)
+...       .chain(["decode", "filter"], work=50, memory=8, cost=16)
+...       .fan_out("split", ["align0", "align1", "align2"],
+...                work=200, memory=24, cost=8)
+...       .join(["align0", "align1", "align2"], "merge", cost=4)
+...       .link("filter", "split", cost=16)
+...       .build())
+
+``build`` validates the result (acyclicity, weight sanity) before
+returning it, so malformed pipelines fail at construction, not inside a
+scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.workflow.graph import Workflow
+from repro.workflow.validation import validate_workflow
+
+Node = Hashable
+
+
+class WorkflowBuilder:
+    """Incremental workflow construction with pattern helpers.
+
+    All helpers return ``self`` for chaining. Tasks referenced by an edge
+    helper must already exist (typo protection); weights given to a
+    pattern apply to every task the pattern creates.
+    """
+
+    def __init__(self, name: str = "workflow"):
+        self._wf = Workflow(name)
+
+    # ------------------------------------------------------------------
+    def task(self, name: Node, work: float = 1.0, memory: float = 0.0) -> "WorkflowBuilder":
+        """Add a single task (re-adding a name raises)."""
+        if name in self._wf:
+            raise ValueError(f"task {name!r} already exists")
+        self._wf.add_task(name, work, memory)
+        return self
+
+    def link(self, u: Node, v: Node, cost: float = 0.0) -> "WorkflowBuilder":
+        """Add an edge between two *existing* tasks."""
+        self._require(u)
+        self._require(v)
+        self._wf.add_edge(u, v, cost)
+        return self
+
+    # ------------------------------------------------------------------
+    def chain(self, names: Sequence[Node], work: float = 1.0, memory: float = 0.0,
+              cost: float = 0.0, after: Optional[Node] = None) -> "WorkflowBuilder":
+        """A linear pipeline ``names[0] -> names[1] -> ...``.
+
+        ``after`` optionally links an existing task to the chain's head.
+        """
+        if not names:
+            raise ValueError("chain needs at least one task")
+        for name in names:
+            self.task(name, work, memory)
+        for a, b in zip(names, names[1:]):
+            self._wf.add_edge(a, b, cost)
+        if after is not None:
+            self.link(after, names[0], cost)
+        return self
+
+    def fan_out(self, source: Node, targets: Sequence[Node], work: float = 1.0,
+                memory: float = 0.0, cost: float = 0.0,
+                source_exists: bool = False) -> "WorkflowBuilder":
+        """``source`` feeding every task in ``targets`` (targets created)."""
+        if not source_exists:
+            self.task(source, work, memory)
+        else:
+            self._require(source)
+        for t in targets:
+            self.task(t, work, memory)
+            self._wf.add_edge(source, t, cost)
+        return self
+
+    def join(self, sources: Sequence[Node], target: Node, work: float = 1.0,
+             memory: float = 0.0, cost: float = 0.0,
+             target_exists: bool = False) -> "WorkflowBuilder":
+        """Every task in ``sources`` feeding ``target`` (target created)."""
+        if not target_exists:
+            self.task(target, work, memory)
+        else:
+            self._require(target)
+        for s in sources:
+            self._require(s)
+            self._wf.add_edge(s, target, cost)
+        return self
+
+    def stage(self, prev_stage: Sequence[Node], names: Sequence[Node],
+              work: float = 1.0, memory: float = 0.0,
+              cost: float = 0.0) -> "WorkflowBuilder":
+        """Parallel per-item stage: ``prev_stage[i] -> names[i]``."""
+        if len(prev_stage) != len(names):
+            raise ValueError("stage requires equal-length task lists")
+        for p, n in zip(prev_stage, names):
+            self._require(p)
+            self.task(n, work, memory)
+            self._wf.add_edge(p, n, cost)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Workflow:
+        """Finish and return the workflow (validated by default)."""
+        if validate:
+            validate_workflow(self._wf)
+        return self._wf
+
+    def _require(self, name: Node) -> None:
+        if name not in self._wf:
+            raise KeyError(f"task {name!r} does not exist yet")

@@ -1,0 +1,119 @@
+"""Workflow serialization: JSON (canonical) and GraphViz DOT (interop).
+
+The paper converts nextflow pipelines to ``.dot`` via ``-with-dag``; the DOT
+reader here accepts that flavour (plain ``a -> b`` statements with optional
+attribute lists) so externally exported workflows can be loaded directly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.workflow.graph import Workflow
+
+PathLike = Union[str, Path]
+
+
+def workflow_to_dict(wf: Workflow) -> Dict[str, Any]:
+    """Serialize to a JSON-compatible dict (tasks, weights, edges)."""
+    return {
+        "name": wf.name,
+        "tasks": [
+            {"id": _key(u), "work": wf.work(u), "memory": wf.memory(u)}
+            for u in wf.tasks()
+        ],
+        "edges": [
+            {"source": _key(u), "target": _key(v), "cost": c}
+            for u, v, c in wf.edges()
+        ],
+    }
+
+
+def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
+    """Inverse of :func:`workflow_to_dict`."""
+    wf = Workflow(data.get("name", "workflow"))
+    for t in data["tasks"]:
+        wf.add_task(t["id"], t.get("work", 1.0), t.get("memory", 0.0))
+    for e in data["edges"]:
+        wf.add_edge(e["source"], e["target"], e.get("cost", 0.0))
+    return wf
+
+
+def save_workflow_json(wf: Workflow, path: PathLike) -> None:
+    """Write the workflow to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(workflow_to_dict(wf), indent=1))
+
+
+def load_workflow_json(path: PathLike) -> Workflow:
+    """Read a workflow previously saved with :func:`save_workflow_json`."""
+    return workflow_from_dict(json.loads(Path(path).read_text()))
+
+
+def workflow_to_dot(wf: Workflow) -> str:
+    """Render as GraphViz DOT with weights in attribute lists."""
+    lines = [f'digraph "{wf.name}" {{']
+    for u in wf.tasks():
+        lines.append(f'  "{_key(u)}" [work={wf.work(u)}, memory={wf.memory(u)}];')
+    for u, v, c in wf.edges():
+        lines.append(f'  "{_key(u)}" -> "{_key(v)}" [cost={c}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_NODE_RE = re.compile(r'^\s*"?([\w./:-]+)"?\s*(?:\[(.*)\])?\s*;?\s*$')
+_EDGE_RE = re.compile(r'^\s*"?([\w./:-]+)"?\s*->\s*"?([\w./:-]+)"?\s*(?:\[(.*)\])?\s*;?\s*$')
+
+
+def _parse_attrs(text: str) -> Dict[str, float]:
+    attrs: Dict[str, float] = {}
+    if not text:
+        return attrs
+    for part in text.split(","):
+        if "=" not in part:
+            continue
+        key, value = part.split("=", 1)
+        try:
+            attrs[key.strip().strip('"')] = float(value.strip().strip('"'))
+        except ValueError:
+            continue
+    return attrs
+
+
+def workflow_from_dot(text: str, name: str = "workflow") -> Workflow:
+    """Parse a simple DOT digraph (nextflow ``-with-dag`` flavour).
+
+    Recognized attributes: ``work``, ``memory`` on nodes, ``cost``
+    (or ``weight``) on edges; everything else is ignored. Unweighted
+    elements get the defaults work=1, memory=0, cost=0 — matching the
+    paper's handling of tasks without historical data.
+    """
+    wf = Workflow(name)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("digraph", "{", "}", "//", "#", "graph", "node", "edge")):
+            continue
+        m = _EDGE_RE.match(line)
+        if m:
+            u, v, attr_text = m.group(1), m.group(2), m.group(3) or ""
+            attrs = _parse_attrs(attr_text)
+            cost = attrs.get("cost", attrs.get("weight", 0.0))
+            if u not in wf:
+                wf.add_task(u)
+            if v not in wf:
+                wf.add_task(v)
+            wf.add_edge(u, v, cost)
+            continue
+        m = _NODE_RE.match(line)
+        if m:
+            u, attr_text = m.group(1), m.group(2) or ""
+            attrs = _parse_attrs(attr_text)
+            wf.add_task(u, attrs.get("work", 1.0), attrs.get("memory", 0.0))
+    return wf
+
+
+def _key(u: Any) -> Any:
+    """JSON keys must be scalars; tuples and other hashables become strings."""
+    return u if isinstance(u, (str, int, float, bool)) else str(u)

@@ -1,0 +1,59 @@
+"""Input validation for workflows.
+
+Called by generators after construction and available to users loading
+external workflow files. Catches the failure modes that would otherwise
+surface as confusing errors deep inside the heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.errors import CyclicWorkflowError, ReproError
+from repro.workflow.graph import Workflow
+
+
+class WorkflowValidationError(ReproError):
+    """Raised when a workflow violates a model assumption."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems[:5]) + ("" if len(problems) <= 5 else f" (+{len(problems) - 5} more)"))
+
+
+def validate_workflow(wf: Workflow, require_single_source: bool = False) -> None:
+    """Check the model assumptions of Section 3.1.
+
+    * the graph is a DAG,
+    * weights are finite and non-negative (work strictly positive is not
+      required — the paper's real workflows use weight 1 for tasks without
+      historical data, but zero work is allowed by the model),
+    * the graph is non-empty,
+    * optionally, there is a single source task (the paper notes the
+      makespan maximum "is achieved on the source task" in that case).
+
+    Raises :class:`WorkflowValidationError` or :class:`CyclicWorkflowError`.
+    """
+    problems: List[str] = []
+    if wf.n_tasks == 0:
+        raise WorkflowValidationError(["workflow has no tasks"])
+
+    cycle = wf.find_cycle()
+    if cycle is not None:
+        raise CyclicWorkflowError(cycle)
+
+    for u in wf.tasks():
+        w, m = wf.work(u), wf.memory(u)
+        if not (w >= 0.0) or w != w or w == float("inf"):
+            problems.append(f"task {u!r} has invalid work {w!r}")
+        if not (m >= 0.0) or m != m or m == float("inf"):
+            problems.append(f"task {u!r} has invalid memory {m!r}")
+    for u, v, c in wf.edges():
+        if not (c >= 0.0) or c != c or c == float("inf"):
+            problems.append(f"edge ({u!r}, {v!r}) has invalid cost {c!r}")
+
+    if require_single_source and len(wf.sources()) != 1:
+        problems.append(f"expected a single source, found {len(wf.sources())}")
+
+    if problems:
+        raise WorkflowValidationError(problems)

@@ -1,0 +1,100 @@
+"""Tests of the command-line interface (direct main() invocation)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_generate_json(self, tmp_path):
+        out = tmp_path / "wf.json"
+        rc = main(["generate", "--family", "blast", "-n", "30",
+                   "--seed", "1", "-o", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert len(data["tasks"]) >= 25
+
+    def test_generate_dot(self, tmp_path):
+        out = tmp_path / "wf.dot"
+        rc = main(["generate", "--family", "bwa", "-n", "20", "-o", str(out)])
+        assert rc == 0
+        assert "digraph" in out.read_text()
+
+    def test_generate_real_world(self, tmp_path):
+        out = tmp_path / "real.json"
+        rc = main(["generate", "--family", "airrflow", "-o", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert len(data["tasks"]) == 11
+
+
+class TestSchedule:
+    def test_schedule_generated(self, capsys):
+        rc = main(["schedule", "--family", "blast", "-n", "40", "--seed", "2",
+                   "--k-strategy", "doubling"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "DagHetPart" in out
+
+    def test_schedule_baseline(self, capsys):
+        rc = main(["schedule", "--family", "bwa", "-n", "30",
+                   "--algorithm", "daghetmem"])
+        assert rc == 0
+        assert "DagHetMem" in capsys.readouterr().out
+
+    def test_schedule_from_file_with_gantt(self, tmp_path, capsys):
+        wf_path = tmp_path / "wf.json"
+        main(["generate", "--family", "seismology", "-n", "25", "-o", str(wf_path)])
+        capsys.readouterr()
+        rc = main(["schedule", "--workflow", str(wf_path), "--gantt",
+                   "--k-strategy", "doubling"])
+        assert rc == 0
+        assert "task-level makespan" in capsys.readouterr().out
+
+    def test_schedule_json_export(self, tmp_path):
+        out = tmp_path / "sched.json"
+        rc = main(["schedule", "--family", "blast", "-n", "30",
+                   "--k-strategy", "doubling", "--json", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["task_level_makespan"] <= data["block_level_makespan"] + 1e-9
+
+    def test_infeasible_returns_2(self, tmp_path, capsys):
+        # a workflow too big for the unscaled default cluster
+        wf_path = tmp_path / "wf.json"
+        main(["generate", "--family", "seismology", "-n", "300",
+              "-o", str(wf_path)])
+        rc = main(["schedule", "--workflow", str(wf_path),
+                   "--no-scale-memory", "--k-strategy", "doubling"])
+        assert rc == 2
+
+
+class TestExperimentAndInfo:
+    def test_experiment_table2(self, capsys):
+        rc = main(["experiment", "table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "C2" in out and "192" in out
+
+    def test_experiment_with_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "400")  # tiny corpus
+        out = tmp_path / "rows.json"
+        rc = main(["experiment", "fig3_left", "--families", "blast",
+                   "--json", str(out)])
+        assert rc == 0
+        rows = json.loads(out.read_text())
+        assert any(r["workflow_type"] == "all" for r in rows)
+
+    def test_info(self, capsys):
+        rc = main(["info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "blast" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

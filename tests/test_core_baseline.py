@@ -1,0 +1,125 @@
+"""Tests of the DagHetMem baseline (Section 4.1)."""
+
+import pytest
+
+from repro.core.baseline import dag_het_mem
+from repro.generators.families import generate_workflow
+from repro.memdag.traversal import memdag_traversal
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+from repro.utils.errors import NoFeasibleMappingError
+from repro.workflow.graph import Workflow
+
+
+class TestSingleProcessorCase:
+    def test_fits_on_one_processor(self, fig1_workflow):
+        cluster = Cluster([Processor("big", 2.0, 1000.0),
+                           Processor("small", 8.0, 1.0)])
+        m = dag_het_mem(fig1_workflow, cluster)
+        m.validate()
+        assert m.n_blocks == 1
+        # the whole DAG goes to the largest-memory processor
+        assert m.assignments[0].processor.name == "big"
+        assert m.makespan() == pytest.approx(9.0 / 2.0)
+
+
+def _accumulating_workflow(n, side_cost=3.0, chain_cost=0.5, memory=1.0):
+    """Chain t0..t{n-1} -> sink where every task also feeds the sink.
+
+    The side edges stay live until the sink runs, so memory genuinely
+    accumulates along any traversal — unlike a plain chain, where the
+    model frees each task's memory on completion.
+    """
+    wf = Workflow()
+    wf.add_task("sink", work=1.0, memory=memory)
+    for i in range(n):
+        wf.add_task(i, work=1.0, memory=memory)
+        if i:
+            wf.add_edge(i - 1, i, chain_cost)
+        wf.add_edge(i, "sink", side_cost)
+    return wf
+
+
+class TestPacking:
+    def test_splits_when_memory_tight(self):
+        # usage grows by ~0.95 per task; the sink alone needs ~9.6 and still
+        # fits, but the accumulated tail forces at least one block split
+        wf = _accumulating_workflow(10, side_cost=0.95, chain_cost=0.25, memory=0.1)
+        procs = [Processor(f"p{j}", 1.0, 9.7) for j in range(4)]
+        m = dag_het_mem(wf, Cluster(procs))
+        m.validate()
+        assert m.n_blocks >= 2
+
+    def test_blocks_follow_memory_order(self):
+        wf = Workflow()
+        for i in range(8):
+            wf.add_task(i, work=1.0, memory=5.0)
+            if i:
+                wf.add_edge(i - 1, i, 0.5)
+        procs = [Processor("small", 1.0, 7.0), Processor("large", 1.0, 12.0),
+                 Processor("mid", 1.0, 9.0)]
+        m = dag_het_mem(wf, Cluster(procs))
+        m.validate()
+        used = [a.processor.name for a in m.assignments]
+        # first block lands on the largest memory, then decreasing
+        assert used[0] == "large"
+        if len(used) > 1:
+            assert used[1] == "mid"
+
+    def test_requirements_within_memory(self):
+        wf = generate_workflow("epigenomics", 120, seed=5)
+        from repro.experiments.instances import scaled_cluster_for
+        from repro.platform.presets import default_cluster
+        cluster = scaled_cluster_for(wf, default_cluster())
+        m = dag_het_mem(wf, cluster)
+        m.validate()
+        for a in m.assignments:
+            assert a.requirement <= a.processor.memory + 1e-9
+
+
+class TestFailureModes:
+    def test_task_too_big_for_any_processor(self):
+        wf = Workflow()
+        wf.add_task("huge", work=1.0, memory=100.0)
+        cluster = Cluster([Processor("p", 1.0, 50.0)])
+        with pytest.raises(NoFeasibleMappingError) as exc:
+            dag_het_mem(wf, cluster)
+        assert exc.value.unplaced_tasks == 1
+
+    def test_not_enough_processors(self):
+        wf = _accumulating_workflow(12)
+        # each block holds ~3 tasks; two processors cannot host 13 tasks
+        cluster = Cluster([Processor("p0", 1.0, 10.0),
+                           Processor("p1", 1.0, 10.0)])
+        with pytest.raises(NoFeasibleMappingError) as exc:
+            dag_het_mem(wf, cluster)
+        assert exc.value.unplaced_tasks > 0
+
+    def test_empty_workflow(self, unit_cluster):
+        m = dag_het_mem(Workflow("empty"), unit_cluster)
+        assert m.n_blocks == 0
+        assert m.makespan() == 0.0
+
+
+class TestQuotientStructure:
+    def test_traversal_slices_give_acyclic_quotient(self):
+        """Contiguous traversal slices always induce an acyclic quotient."""
+        for family in ("blast", "montage", "genome"):
+            wf = generate_workflow(family, 100, seed=11)
+            from repro.experiments.instances import scaled_cluster_for
+            from repro.platform.presets import default_cluster
+            cluster = scaled_cluster_for(wf, default_cluster())
+            m = dag_het_mem(wf, cluster)
+            m.validate()  # includes quotient acyclicity
+
+    def test_block_tasks_are_traversal_prefixes(self, chain_workflow):
+        """On a chain, blocks must be consecutive slices."""
+        procs = [Processor(f"p{j}", 1.0, 11.0) for j in range(4)]
+        m = dag_het_mem(chain_workflow, Cluster(procs))
+        order = list(memdag_traversal(chain_workflow).order)
+        positions = []
+        for a in m.assignments:
+            idx = sorted(order.index(u) for u in a.tasks)
+            assert idx == list(range(idx[0], idx[-1] + 1))
+            positions.append(idx[0])
+        assert positions == sorted(positions)

@@ -1,0 +1,137 @@
+"""Tests of the DagHetPart orchestrator (Section 4.2) and the schedule API."""
+
+import pytest
+
+from repro.core.baseline import dag_het_mem
+from repro.core.heuristic import (
+    DagHetPartConfig,
+    _k_prime_candidates,
+    dag_het_part,
+    schedule,
+)
+from repro.experiments.instances import scaled_cluster_for
+from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
+from repro.platform.cluster import Cluster
+from repro.platform.presets import default_cluster
+from repro.platform.processor import Processor
+from repro.utils.errors import NoFeasibleMappingError
+from repro.workflow.graph import Workflow
+
+
+class TestKPrimeCandidates:
+    def test_all_strategy(self):
+        cfg = DagHetPartConfig(k_prime_strategy="all")
+        assert _k_prime_candidates(5, cfg) == [1, 2, 3, 4, 5]
+
+    def test_doubling_strategy(self):
+        cfg = DagHetPartConfig(k_prime_strategy="doubling")
+        assert _k_prime_candidates(36, cfg) == [1, 2, 4, 8, 16, 32, 36]
+
+    def test_doubling_includes_k_once(self):
+        cfg = DagHetPartConfig(k_prime_strategy="doubling")
+        assert _k_prime_candidates(4, cfg) == [1, 2, 4]
+
+    def test_auto_switches_on_size(self):
+        auto = DagHetPartConfig(k_prime_strategy="auto")
+        assert _k_prime_candidates(8, auto) == list(range(1, 9))
+        assert len(_k_prime_candidates(36, auto)) < 36
+
+    def test_explicit_values_clamped(self):
+        cfg = DagHetPartConfig(k_prime_values=(2, 4, 99))
+        assert _k_prime_candidates(8, cfg) == [2, 4]
+
+    def test_invalid_values(self):
+        cfg = DagHetPartConfig(k_prime_values=(99,))
+        with pytest.raises(ValueError):
+            _k_prime_candidates(8, cfg)
+
+    def test_unknown_strategy(self):
+        cfg = DagHetPartConfig(k_prime_strategy="mystery")
+        with pytest.raises(ValueError):
+            _k_prime_candidates(8, cfg)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)
+    def test_valid_mapping_per_family(self, family):
+        wf = generate_workflow(family, 60, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        mapping = dag_het_part(wf, cluster,
+                               DagHetPartConfig(k_prime_strategy="doubling"))
+        mapping.validate()
+        assert mapping.algorithm == "DagHetPart"
+
+    def test_beats_or_matches_baseline_usually(self):
+        """Aggregate improvement is the paper's headline claim."""
+        import math
+        ratios = []
+        for family in ("blast", "bwa", "seismology", "genome", "soykb"):
+            wf = generate_workflow(family, 120, seed=5)
+            cluster = scaled_cluster_for(wf, default_cluster())
+            base = dag_het_mem(wf, cluster)
+            part = dag_het_part(wf, cluster,
+                                DagHetPartConfig(k_prime_strategy="doubling"))
+            ratios.append(part.makespan() / base.makespan())
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        assert geomean < 0.8  # must clearly exploit heterogeneity
+
+    def test_single_processor_cluster(self):
+        wf = generate_workflow("blast", 30, seed=0)
+        proc = Processor("only", 4.0, 1e9)
+        mapping = dag_het_part(wf, Cluster([proc]))
+        mapping.validate()
+        assert mapping.n_blocks == 1
+        assert mapping.makespan() == pytest.approx(wf.total_work() / 4.0)
+
+    def test_empty_workflow(self, unit_cluster):
+        mapping = dag_het_part(Workflow("empty"), unit_cluster)
+        assert mapping.n_blocks == 0
+
+    def test_infeasible_platform_raises(self):
+        wf = Workflow()
+        wf.add_task("huge", work=1.0, memory=1000.0)
+        cluster = Cluster([Processor("small", 1.0, 10.0)])
+        with pytest.raises(NoFeasibleMappingError):
+            dag_het_part(wf, cluster)
+
+    def test_deterministic(self):
+        wf = generate_workflow("bwa", 50, seed=3)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        cfg = DagHetPartConfig(k_prime_strategy="doubling")
+        m1 = dag_het_part(wf, cluster, cfg)
+        m2 = dag_het_part(wf, cluster, cfg)
+        assert m1.makespan() == pytest.approx(m2.makespan())
+
+    def test_ablation_toggles_run(self):
+        wf = generate_workflow("genome", 60, seed=2)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        base_cfg = DagHetPartConfig(k_prime_strategy="doubling")
+        no_step4 = DagHetPartConfig(k_prime_strategy="doubling",
+                                    enable_swaps=False, enable_idle_moves=False)
+        full = dag_het_part(wf, cluster, base_cfg)
+        reduced = dag_het_part(wf, cluster, no_step4)
+        full.validate()
+        reduced.validate()
+        # Step 4 never hurts: the full pipeline is at least as good
+        assert full.makespan() <= reduced.makespan() + 1e-9
+
+
+class TestScheduleApi:
+    def test_schedule_daghetpart(self):
+        wf = generate_workflow("blast", 40, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        m = schedule(wf, cluster, "daghetpart",
+                     config=DagHetPartConfig(k_prime_strategy="doubling"))
+        assert m.algorithm == "DagHetPart"
+
+    def test_schedule_daghetmem_aliases(self):
+        wf = generate_workflow("blast", 40, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        for name in ("daghetmem", "DagHetMem", "dag-het-mem", "dag_het_mem"):
+            m = schedule(wf, cluster, name)
+            assert m.algorithm == "DagHetMem"
+
+    def test_unknown_algorithm(self, unit_cluster):
+        wf = generate_workflow("blast", 10, seed=0)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            schedule(wf, unit_cluster, "hexagonal")

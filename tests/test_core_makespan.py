@@ -1,0 +1,103 @@
+"""Makespan engine tests, anchored on the paper's worked example (Fig. 1)."""
+
+import pytest
+
+from repro.core.makespan import bottom_weights, critical_path, makespan
+from repro.core.quotient import QuotientGraph
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+from repro.utils.errors import CyclicWorkflowError
+
+
+class TestFig1GoldenExample:
+    """Section 3.3's worked example: l4=1, l3=5, l2=7, l1=12."""
+
+    def test_quotient_weights(self, fig1_workflow, fig1_partition):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        works = sorted(blk.work for blk in q.blocks.values())
+        assert works == [1.0, 1.0, 3.0, 4.0]
+
+    def test_quotient_edge_costs(self, fig1_workflow, fig1_partition):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        ids = {i: bid for i, bid in enumerate(q.blocks)}
+        # all edge costs are 1 except V1 -> V3 which sums two task edges
+        costs = sorted(c for nbrs in q.succ.values() for c in nbrs.values())
+        assert costs == [1.0, 1.0, 1.0, 1.0, 2.0]
+
+    def test_bottom_weights(self, fig1_workflow, fig1_partition, unit_cluster):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        l = bottom_weights(q, unit_cluster)
+        # block ids follow partition order: V1, V2, V3, V4
+        v1, v2, v3, v4 = list(q.blocks)
+        assert l[v4] == pytest.approx(1.0)
+        assert l[v3] == pytest.approx(5.0)
+        assert l[v2] == pytest.approx(7.0)
+        assert l[v1] == pytest.approx(12.0)
+
+    def test_makespan_is_12(self, fig1_workflow, fig1_partition, unit_cluster):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        assert makespan(q, unit_cluster) == pytest.approx(12.0)
+
+    def test_critical_path_starts_at_source_block(self, fig1_workflow,
+                                                  fig1_partition, unit_cluster):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        path = critical_path(q, unit_cluster)
+        v1, v2, v3, v4 = list(q.blocks)
+        # l1 = 4 + (1 + l2): the max is attained through V2
+        assert path[0] == v1
+        assert path[1] == v2
+        assert path[-1] == v4
+
+    def test_merging_4_and_9_creates_cycle(self, fig1_workflow):
+        """The paper: merging tasks 4 and 9 yields a cyclic quotient."""
+        partition = [{1, 2, 3}, {4, 9}, {5}, {6, 7, 8}]
+        q = QuotientGraph.from_partition(fig1_workflow, partition)
+        assert not q.is_acyclic()
+        with pytest.raises(CyclicWorkflowError):
+            makespan(q, Cluster([Processor("p", 1, 1)], name="c1"))
+
+
+class TestMakespanProperties:
+    def test_single_block_is_total_work_over_speed(self, chain_workflow):
+        cluster = Cluster([Processor("p", speed=4.0, memory=1e9)])
+        q = QuotientGraph.from_partition(
+            chain_workflow, [set("abcd")], [cluster.processors[0]])
+        assert makespan(q, cluster) == pytest.approx(chain_workflow.total_work() / 4.0)
+
+    def test_unassigned_blocks_use_speed_one(self, chain_workflow, unit_cluster):
+        q = QuotientGraph.from_partition(chain_workflow, [set("abcd")])
+        assert makespan(q, unit_cluster) == pytest.approx(chain_workflow.total_work())
+
+    def test_default_speed_override(self, chain_workflow, unit_cluster):
+        q = QuotientGraph.from_partition(chain_workflow, [set("abcd")])
+        fast = makespan(q, unit_cluster, default_speed=10.0)
+        assert fast == pytest.approx(chain_workflow.total_work() / 10.0)
+
+    def test_bandwidth_scales_communication(self, chain_workflow):
+        p1, p2 = Processor("p1", 1, 1e9), Processor("p2", 1, 1e9)
+        blocks = [{"a", "b"}, {"c", "d"}]
+        for beta, expected_comm in [(1.0, 1.0), (0.5, 2.0), (2.0, 0.5)]:
+            cluster = Cluster([p1, p2], bandwidth=beta)
+            q = QuotientGraph.from_partition(chain_workflow, blocks, [p1, p2])
+            # l(second) = 3+4 = 7; l(first) = 1+2 + c(b,c)/beta + 7
+            assert makespan(q, cluster) == pytest.approx(10.0 + expected_comm)
+
+    def test_faster_processors_never_hurt(self, fig1_workflow, fig1_partition):
+        slow = [Processor(f"s{i}", 1.0, 1e9) for i in range(4)]
+        fast = [Processor(f"f{i}", 2.0, 1e9) for i in range(4)]
+        q_slow = QuotientGraph.from_partition(fig1_workflow, fig1_partition, slow)
+        q_fast = QuotientGraph.from_partition(fig1_workflow, fig1_partition, fast)
+        cs = Cluster(slow)
+        cf = Cluster(fast)
+        assert makespan(q_fast, cf) <= makespan(q_slow, cs)
+
+    def test_empty_quotient(self, unit_cluster):
+        from repro.workflow.graph import Workflow
+        q = QuotientGraph(Workflow("empty"))
+        assert makespan(q, unit_cluster) == 0.0
+
+    def test_parallel_blocks_take_max_not_sum(self, fork_workflow, unit_cluster):
+        blocks = [{"root"}] + [{f"leaf{i}"} for i in range(6)]
+        q = QuotientGraph.from_partition(fork_workflow, blocks)
+        # l(root) = 1 + max_i (1 + w_leaf_i) = 1 + 1 + 6
+        assert makespan(q, unit_cluster) == pytest.approx(8.0)

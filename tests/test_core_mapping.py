@@ -1,0 +1,112 @@
+"""Tests of the Mapping result type and the forward simulator."""
+
+import pytest
+
+from repro.core.mapping import BlockAssignment, Mapping, simulate_mapping
+from repro.core.quotient import QuotientGraph
+from repro.memdag.requirement import RequirementCache
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+from repro.utils.errors import InvalidPartitionError
+
+
+def _mapping(wf, cluster, blocks, procs, algorithm="test"):
+    cache = RequirementCache(wf)
+    assignments = []
+    for tasks, proc in zip(blocks, procs):
+        res = cache.requirement(tasks)
+        assignments.append(BlockAssignment(
+            tasks=frozenset(tasks), processor=proc,
+            requirement=res.peak, traversal=res.order))
+    return Mapping(wf, cluster, assignments, algorithm)
+
+
+class TestValidation:
+    def test_valid_mapping_passes(self, fig1_workflow, fig1_partition, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition,
+                     unit_cluster.processors)
+        m.validate()
+
+    def test_unmapped_task_rejected(self, fig1_workflow, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, [{1, 2, 3}],
+                     unit_cluster.processors[:1])
+        with pytest.raises(InvalidPartitionError, match="unmapped"):
+            m.validate()
+
+    def test_duplicate_processor_rejected(self, fig1_workflow, fig1_partition,
+                                          unit_cluster):
+        p = unit_cluster.processors[0]
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition, [p, p, p, p])
+        with pytest.raises(InvalidPartitionError, match="same processor"):
+            m.validate()
+
+    def test_memory_violation_rejected(self, fig1_workflow, fig1_partition):
+        tight = [Processor(f"p{i}", 1.0, 0.5) for i in range(4)]
+        m = _mapping(fig1_workflow, Cluster(tight), fig1_partition, tight)
+        with pytest.raises(InvalidPartitionError, match="memory"):
+            m.validate()
+
+    def test_cyclic_quotient_rejected(self, fig1_workflow, unit_cluster):
+        blocks = [{1, 2, 3}, {4, 9}, {5}, {6, 7, 8}]
+        m = _mapping(fig1_workflow, unit_cluster, blocks, unit_cluster.processors)
+        with pytest.raises(InvalidPartitionError, match="cyclic"):
+            m.validate()
+
+    def test_understated_requirement_rejected(self, fig1_workflow, unit_cluster):
+        cache = RequirementCache(fig1_workflow)
+        res = cache.requirement(set(range(1, 10)))
+        bad = BlockAssignment(tasks=frozenset(range(1, 10)),
+                              processor=unit_cluster.processors[0],
+                              requirement=res.peak / 2,  # lie about the peak
+                              traversal=res.order)
+        m = Mapping(fig1_workflow, unit_cluster, [bad])
+        with pytest.raises(InvalidPartitionError, match="below actual"):
+            m.validate()
+
+
+class TestMakespanAndSimulation:
+    def test_makespan_matches_fig1(self, fig1_workflow, fig1_partition, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition,
+                     unit_cluster.processors)
+        assert m.makespan() == pytest.approx(12.0)
+
+    def test_simulation_equals_bottom_weight_makespan(self, fig1_workflow,
+                                                      fig1_partition, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition,
+                     unit_cluster.processors)
+        assert simulate_mapping(m) == pytest.approx(m.makespan())
+
+    def test_simulation_equality_on_generated_instances(self):
+        """Forward simulation must agree with Eq. (1)-(2) on real outputs."""
+        from repro.core.baseline import dag_het_mem
+        from repro.experiments.instances import scaled_cluster_for
+        from repro.generators.families import generate_workflow
+        from repro.platform.presets import default_cluster
+        for family in ("blast", "genome", "soykb"):
+            wf = generate_workflow(family, 80, seed=7)
+            cluster = scaled_cluster_for(wf, default_cluster())
+            m = dag_het_mem(wf, cluster)
+            assert simulate_mapping(m) == pytest.approx(m.makespan())
+
+
+class TestAccessors:
+    def test_block_of(self, fig1_workflow, fig1_partition, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition,
+                     unit_cluster.processors)
+        assert 5 in m.block_of(5).tasks
+        with pytest.raises(KeyError):
+            m.block_of(99)
+
+    def test_summary_fields(self, fig1_workflow, fig1_partition, unit_cluster):
+        m = _mapping(fig1_workflow, unit_cluster, fig1_partition,
+                     unit_cluster.processors)
+        s = m.summary()
+        assert s["n_blocks"] == 4.0
+        assert s["makespan"] == pytest.approx(12.0)
+
+    def test_from_quotient_requires_full_assignment(self, fig1_workflow,
+                                                    fig1_partition, unit_cluster):
+        q = QuotientGraph.from_partition(fig1_workflow, fig1_partition)
+        cache = RequirementCache(fig1_workflow)
+        with pytest.raises(InvalidPartitionError, match="no processor"):
+            Mapping.from_quotient(q, unit_cluster, cache)

@@ -1,0 +1,128 @@
+"""Tests of Step 4 (swaps and idle-processor moves)."""
+
+import pytest
+
+from repro.core.makespan import makespan
+from repro.core.quotient import QuotientGraph
+from repro.core.swaps import improve_by_swaps, move_critical_to_idle
+from repro.memdag.requirement import RequirementCache
+from repro.platform.cluster import Cluster
+from repro.platform.processor import Processor
+from repro.workflow.graph import Workflow
+
+
+def _two_block_wf():
+    """heavy -> light chain; swapping fast/slow processors matters."""
+    wf = Workflow()
+    wf.add_task("h1", work=50.0, memory=1.0)
+    wf.add_task("h2", work=50.0, memory=1.0)
+    wf.add_task("l1", work=1.0, memory=1.0)
+    wf.add_edge("h1", "h2", 1.0)
+    wf.add_edge("h2", "l1", 1.0)
+    return wf
+
+
+class TestSwaps:
+    def test_swap_fixes_inverted_speeds(self):
+        wf = _two_block_wf()
+        slow = Processor("slow", 1.0, 100.0)
+        fast = Processor("fast", 10.0, 100.0)
+        cluster = Cluster([slow, fast])
+        q = QuotientGraph.from_partition(
+            wf, [{"h1", "h2"}, {"l1"}], [slow, fast])  # heavy on slow: bad
+        cache = RequirementCache(wf)
+        before = makespan(q, cluster)
+        n = improve_by_swaps(q, cluster, cache)
+        after = makespan(q, cluster)
+        assert n == 1
+        assert after < before
+        assert q.blocks[q.block_of("h1")].proc.name == "fast"
+
+    def test_swap_respects_memory(self):
+        wf = _two_block_wf()
+        slow = Processor("slow", 1.0, 100.0)
+        fast = Processor("fast", 10.0, 1.5)  # too small for the heavy block
+        cluster = Cluster([slow, fast])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [slow, fast])
+        cache = RequirementCache(wf)
+        assert improve_by_swaps(q, cluster, cache) == 0
+
+    def test_no_improving_swap_is_noop(self):
+        wf = _two_block_wf()
+        fast = Processor("fast", 10.0, 100.0)
+        slow = Processor("slow", 1.0, 100.0)
+        cluster = Cluster([fast, slow])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [fast, slow])
+        cache = RequirementCache(wf)
+        before = makespan(q, cluster)
+        assert improve_by_swaps(q, cluster, cache) == 0
+        assert makespan(q, cluster) == before
+
+    def test_swaps_monotonically_improve(self):
+        from repro.generators.families import generate_workflow
+        from repro.experiments.instances import scaled_cluster_for
+        from repro.partition.api import acyclic_partition
+        from repro.platform.presets import default_cluster
+        from repro.core.assignment import biggest_assign
+        wf = generate_workflow("bwa", 80, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        cache = RequirementCache(wf)
+        partition = acyclic_partition(wf, 8)
+        state = biggest_assign(wf, cluster, partition, cache=cache)
+        q = QuotientGraph.from_partition(
+            wf, [state.blocks[b] for b in state.blocks],
+            [state.assigned.get(b) for b in state.blocks])
+        from repro.core.merging import merge_unassigned_to_assigned
+        assert merge_unassigned_to_assigned(q, cluster, cache)
+        before = makespan(q, cluster)
+        improve_by_swaps(q, cluster, cache)
+        assert makespan(q, cluster) <= before + 1e-9
+
+
+class TestIdleMoves:
+    def test_moves_critical_block_to_faster_idle(self):
+        wf = _two_block_wf()
+        slow = Processor("slow", 1.0, 100.0)
+        slower = Processor("slower", 0.5, 100.0)
+        fast_idle = Processor("fast", 10.0, 100.0)
+        cluster = Cluster([slow, slower, fast_idle])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [slow, slower])
+        cache = RequirementCache(wf)
+        before = makespan(q, cluster)
+        n = move_critical_to_idle(q, cluster, cache)
+        assert n >= 1
+        assert makespan(q, cluster) < before
+        assert "fast" in q.used_processors()
+
+    def test_no_idle_processors_is_noop(self):
+        wf = _two_block_wf()
+        p0 = Processor("p0", 1.0, 100.0)
+        p1 = Processor("p1", 2.0, 100.0)
+        cluster = Cluster([p0, p1])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [p0, p1])
+        cache = RequirementCache(wf)
+        assert move_critical_to_idle(q, cluster, cache) == 0
+
+    def test_memory_blocks_idle_move(self):
+        wf = _two_block_wf()
+        slow = Processor("slow", 1.0, 100.0)
+        other = Processor("o", 1.0, 100.0)
+        fast_small = Processor("fast", 10.0, 1.0)  # cannot hold anything
+        cluster = Cluster([slow, other, fast_small])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [slow, other])
+        cache = RequirementCache(wf)
+        assert move_critical_to_idle(q, cluster, cache) == 0
+
+    def test_each_block_moved_at_most_once(self):
+        """The paper moves each critical-path task once."""
+        wf = _two_block_wf()
+        s1 = Processor("s1", 1.0, 100.0)
+        s2 = Processor("s2", 1.1, 100.0)
+        f1 = Processor("f1", 5.0, 100.0)
+        f2 = Processor("f2", 10.0, 100.0)
+        cluster = Cluster([s1, s2, f1, f2])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [s1, s2])
+        cache = RequirementCache(wf)
+        moves = move_critical_to_idle(q, cluster, cache)
+        # both blocks can move once each, at most
+        assert moves <= 2

@@ -1,0 +1,195 @@
+"""Tests of the experiment harness: instances, runner, metrics, report."""
+
+import math
+
+import pytest
+
+from repro.core.heuristic import DagHetPartConfig
+from repro.experiments.instances import (
+    PAPER_SIZES,
+    build_corpus,
+    real_instances,
+    scaled_cluster_for,
+    synthetic_instances,
+    synthetic_sizes,
+)
+from repro.experiments.metrics import (
+    aggregate_by,
+    geometric_mean,
+    makespan_ratios,
+    relative_makespan_by,
+    success_counts,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import RunRecord, run_corpus, run_instance
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster
+
+TINY_SIZES = {"small": (24,), "mid": (40,), "big": (60,)}
+FAST_CFG = DagHetPartConfig(k_prime_values=(1, 4, 12))
+
+
+class TestInstances:
+    def test_paper_sizes_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert synthetic_sizes() == PAPER_SIZES
+
+    def test_scaled_sizes_preserve_ordering(self):
+        sizes = synthetic_sizes(full=False)
+        flat_scaled = [n for cat in ("small", "mid", "big") for n in sizes[cat]]
+        assert flat_scaled == sorted(flat_scaled)
+
+    def test_repro_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        sizes = synthetic_sizes()
+        assert sizes["big"][-1] == 300
+
+    def test_synthetic_instances_grouping(self):
+        instances = synthetic_instances(sizes=TINY_SIZES, families=("blast", "bwa"))
+        assert len(instances) == 6
+        assert {i.category for i in instances} == {"small", "mid", "big"}
+
+    def test_real_instances(self):
+        instances = real_instances()
+        assert len(instances) == 5
+        assert all(i.category == "real" for i in instances)
+
+    def test_corpus_is_deterministic(self):
+        a = build_corpus(seed=0, sizes=TINY_SIZES, families=("blast",))
+        b = build_corpus(seed=0, sizes=TINY_SIZES, families=("blast",))
+        assert [i.name for i in a] == [i.name for i in b]
+        wa, wb = a[-1].workflow, b[-1].workflow
+        assert [wa.work(u) for u in wa.tasks()] == [wb.work(u) for u in wb.tasks()]
+
+    def test_scaled_cluster_for(self):
+        wf = generate_workflow("seismology", 200, seed=0)
+        cluster = default_cluster()
+        scaled = scaled_cluster_for(wf, cluster)
+        assert scaled.max_memory() >= wf.max_task_requirement()
+        # speeds unchanged
+        assert sorted(p.speed for p in scaled) == sorted(p.speed for p in cluster)
+
+    def test_scaled_cluster_noop_when_fits(self):
+        from repro.generators.realworld import generate_real_workflow
+        wf = generate_real_workflow("airrflow")
+        cluster = default_cluster()
+        assert scaled_cluster_for(wf, cluster) is cluster
+
+
+class TestRunner:
+    def test_run_instance_records(self):
+        inst = synthetic_instances(sizes={"small": (24,)}, families=("blast",))[0]
+        records = run_instance(inst, default_cluster(), config=FAST_CFG)
+        assert {r.algorithm for r in records} == {"DagHetMem", "DagHetPart"}
+        for r in records:
+            assert r.success
+            assert r.makespan > 0
+            assert r.runtime >= 0
+            assert r.n_blocks >= 1
+
+    def test_failed_run_recorded_not_raised(self):
+        from repro.platform.cluster import Cluster
+        from repro.platform.processor import Processor
+        inst = synthetic_instances(sizes={"small": (24,)}, families=("blast",))[0]
+        tiny = Cluster([Processor("p", 1.0, 0.001)])
+        records = run_instance(inst, tiny, config=FAST_CFG, scale_memory=False)
+        assert all(not r.success for r in records)
+        assert all(math.isinf(r.makespan) for r in records)
+
+    def test_run_corpus_progress_callback(self):
+        instances = synthetic_instances(sizes={"small": (24,)}, families=("bwa",))
+        messages = []
+        run_corpus(instances, default_cluster(), config=FAST_CFG,
+                   progress=messages.append)
+        assert len(messages) == 1
+
+
+class TestMetrics:
+    def _fake_records(self):
+        mk = lambda inst, alg, ms, ok=True: RunRecord(
+            instance=inst, family="f", category="small", n_tasks=10,
+            algorithm=alg, cluster="c", bandwidth=1.0, success=ok,
+            makespan=ms, runtime=0.1, n_blocks=1)
+        return [
+            mk("a", "DagHetMem", 100.0), mk("a", "DagHetPart", 50.0),
+            mk("b", "DagHetMem", 100.0), mk("b", "DagHetPart", 25.0),
+            mk("c", "DagHetMem", float("inf"), ok=False),
+            mk("c", "DagHetPart", 10.0),
+        ]
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert math.isnan(geometric_mean([]))
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+
+    def test_ratios_skip_failed_pairs(self):
+        ratios = makespan_ratios(self._fake_records())
+        assert len(ratios) == 2
+        values = sorted(r for _, r in ratios)
+        assert values == [0.25, 0.5]
+
+    def test_relative_makespan_geomean(self):
+        rel = relative_makespan_by(self._fake_records(), key=lambda r: r.category)
+        assert rel["small"] == pytest.approx(100.0 * math.sqrt(0.5 * 0.25))
+
+    def test_success_counts(self):
+        counts = success_counts(self._fake_records())
+        assert counts[("small", "DagHetMem")] == (2, 3)
+        assert counts[("small", "DagHetPart")] == (3, 3)
+
+    def test_aggregate_by_modes(self):
+        recs = self._fake_records()
+        val = lambda r: r.makespan
+        key = lambda r: r.algorithm
+        assert aggregate_by(recs, key, val, "max")["DagHetPart"] == 50.0
+        assert aggregate_by(recs, key, val, "sum")["DagHetPart"] == 85.0
+        assert aggregate_by(recs, key, val, "mean")["DagHetMem"] == 100.0
+        with pytest.raises(ValueError):
+            aggregate_by(recs, key, val, "median")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"name": "x", "value": 1.5}, {"name": "longer", "value": 22.0}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestInstanceDataclass:
+    def test_n_tasks_reflects_workflow(self):
+        inst = synthetic_instances(sizes={"small": (30,)}, families=("blast",))[0]
+        assert inst.n_tasks == inst.workflow.n_tasks
+        assert inst.category == "small"
+        assert inst.family == "blast"
+
+    def test_instances_are_frozen(self):
+        import dataclasses
+        inst = real_instances()[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            inst.name = "other"
+
+
+class TestRunnerValidateFlag:
+    def test_validate_flag_runs_full_checks(self):
+        inst = synthetic_instances(sizes={"small": (24,)}, families=("bwa",))[0]
+        records = run_instance(inst, default_cluster(), config=FAST_CFG,
+                               validate=True)
+        assert all(r.success for r in records)
+
+    def test_unknown_algorithm_rejected(self):
+        inst = synthetic_instances(sizes={"small": (24,)}, families=("bwa",))[0]
+        with pytest.raises(ValueError):
+            run_instance(inst, default_cluster(), algorithms=("Mystery",))

@@ -1,0 +1,124 @@
+"""Tests of the synthetic workflow family generators."""
+
+import pytest
+
+from repro.generators.families import (
+    CHAIN_LIKE_FAMILIES,
+    FANNED_OUT_FAMILIES,
+    WORKFLOW_FAMILIES,
+    generate_topology,
+    generate_workflow,
+)
+from repro.generators.weights import PAPER_WEIGHTS
+from repro.workflow.analysis import fanout_statistics, topological_levels
+from repro.workflow.validation import validate_workflow
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)
+    @pytest.mark.parametrize("n", [20, 100, 400])
+    def test_size_approximately_matches(self, family, n):
+        wf = generate_topology(family, n)
+        assert abs(wf.n_tasks - n) <= max(8, 0.15 * n)
+
+    @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)
+    def test_valid_dag(self, family):
+        wf = generate_topology(family, 150)
+        validate_workflow(wf)
+
+    @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)
+    def test_weakly_connected_from_sources(self, family):
+        wf = generate_topology(family, 80)
+        # every task reachable from some source (no orphan islands)
+        seen = set(wf.sources())
+        stack = list(seen)
+        while stack:
+            u = stack.pop()
+            for v in wf.children(u):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert seen == set(wf.tasks())
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="valid"):
+            generate_topology("sorting_networks", 10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_topology("blast", 0)
+
+
+class TestShapes:
+    def test_seismology_two_levels(self):
+        wf = generate_topology("seismology", 50)
+        levels = topological_levels(wf)
+        assert max(levels.values()) == 2
+
+    def test_blast_fan(self):
+        wf = generate_topology("blast", 103)
+        stats = fanout_statistics(wf)
+        assert stats["max_out_degree"] == 100  # split_fasta fans to all
+
+    def test_soykb_starts_with_chain(self):
+        wf = generate_topology("soykb", 60)
+        # the alignment chain: one source followed by single-child tasks
+        (source,) = wf.sources()
+        u = source
+        chain_len = 1
+        while wf.out_degree(u) == 1:
+            u = next(wf.children(u))
+            chain_len += 1
+        assert chain_len >= 4
+
+    def test_fanned_vs_chain_classification(self):
+        """The paper's grouping: BWA/BLAST widest, SoyKB/Epigenomics narrowest."""
+        widths = {f: fanout_statistics(generate_topology(f, 200))["width"]
+                  for f in WORKFLOW_FAMILIES}
+        for fanned in FANNED_OUT_FAMILIES:
+            for chainlike in CHAIN_LIKE_FAMILIES:
+                assert widths[fanned] > widths[chainlike]
+
+    def test_montage_has_diamond_structure(self):
+        wf = generate_topology("montage", 60)
+        # mDiffFit tasks have exactly two project parents
+        diffs = [u for u in wf.tasks() if str(u).startswith("mDiffFit")]
+        assert diffs
+        for d in diffs:
+            assert wf.in_degree(d) == 2
+
+    def test_genome_analysis_tasks_read_two_inputs(self):
+        wf = generate_topology("genome", 120)
+        overlaps = [u for u in wf.tasks() if "mutation_overlap" in str(u)]
+        assert overlaps
+        for u in overlaps:
+            assert wf.in_degree(u) == 2  # merge + sifting
+
+
+class TestWeights:
+    def test_paper_weight_ranges(self):
+        wf = generate_workflow("bwa", 120, seed=0)
+        for u in wf.tasks():
+            assert PAPER_WEIGHTS.work[0] <= wf.work(u) <= PAPER_WEIGHTS.work[1]
+            assert PAPER_WEIGHTS.memory[0] <= wf.memory(u) <= PAPER_WEIGHTS.memory[1]
+        for _, _, c in wf.edges():
+            assert PAPER_WEIGHTS.edge[0] <= c <= PAPER_WEIGHTS.edge[1]
+
+    def test_seeded_generation_deterministic(self):
+        a = generate_workflow("genome", 80, seed=42)
+        b = generate_workflow("genome", 80, seed=42)
+        assert [a.work(u) for u in a.tasks()] == [b.work(u) for u in b.tasks()]
+        assert sorted((u, v, c) for u, v, c in a.edges()) == \
+            sorted((u, v, c) for u, v, c in b.edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_workflow("genome", 80, seed=1)
+        b = generate_workflow("genome", 80, seed=2)
+        assert [a.work(u) for u in a.tasks()] != [b.work(u) for u in b.tasks()]
+
+    def test_work_factor_scales_only_work(self):
+        base = generate_workflow("blast", 50, seed=9)
+        scaled = generate_workflow("blast", 50, seed=9, work_factor=4.0)
+        for u in base.tasks():
+            assert scaled.work(u) == pytest.approx(4.0 * base.work(u))
+            assert scaled.memory(u) == pytest.approx(base.memory(u))

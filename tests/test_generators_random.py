@@ -1,0 +1,47 @@
+"""Tests of the random layered DAG generator."""
+
+import pytest
+
+from repro.generators.random_dag import random_layered_dag, random_workflow
+from repro.workflow.validation import validate_workflow
+
+
+def test_exact_task_count():
+    for n in (1, 7, 50):
+        assert random_layered_dag(n, seed=0).n_tasks == n
+
+
+def test_acyclic():
+    for seed in range(5):
+        wf = random_layered_dag(60, seed=seed)
+        assert wf.is_acyclic()
+
+
+def test_connected_mode_gives_parents():
+    wf = random_layered_dag(80, seed=3, connect=True)
+    levels = {}
+    for u in wf.topological_order():
+        preds = list(wf.parents(u))
+        levels[u] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    sources = wf.sources()
+    # every source sits in the first layer (no stranded downstream tasks)
+    for s in sources:
+        assert s.startswith("t0:")
+
+
+def test_deterministic():
+    a = random_layered_dag(40, seed=9)
+    b = random_layered_dag(40, seed=9)
+    assert sorted((u, v) for u, v, _ in a.edges()) == \
+        sorted((u, v) for u, v, _ in b.edges())
+
+
+def test_random_workflow_weighted():
+    wf = random_workflow(30, seed=1)
+    validate_workflow(wf)
+    assert all(wf.work(u) >= 1.0 for u in wf.tasks())
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        random_layered_dag(0)

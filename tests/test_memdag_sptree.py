@@ -1,0 +1,79 @@
+"""Tests of series-parallel recognition and decomposition."""
+
+import pytest
+
+from repro.memdag.sp_tree import SPTree, is_series_parallel, sp_decompose
+
+
+class TestRecognition:
+    def test_single_edge(self):
+        tree = sp_decompose([("s", "t")], "s", "t")
+        assert tree is not None
+        assert tree.kind == "leaf"
+
+    def test_chain(self):
+        edges = [("s", "a"), ("a", "b"), ("b", "t")]
+        tree = sp_decompose(edges, "s", "t")
+        assert tree is not None
+        assert tree.kind == "series"
+        assert tree.via == ["a", "b"] or sorted(tree.via) == ["a", "b"]
+
+    def test_diamond(self):
+        edges = [("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")]
+        tree = sp_decompose(edges, "s", "t")
+        assert tree is not None
+        assert tree.kind == "parallel"
+        assert len(tree.children) == 2
+
+    def test_nested_fork_join(self):
+        edges = [("s", "a"), ("a", "t"), ("s", "b"), ("b", "c"), ("c", "t"),
+                 ("s", "t")]
+        tree = sp_decompose(edges, "s", "t")
+        assert tree is not None
+        internal = set(tree.internal_vertices())
+        assert internal == {"a", "b", "c"}
+
+    def test_non_sp_n_graph(self):
+        """The 'N' (crossing) graph is the canonical non-TTSP DAG."""
+        edges = [("s", "a"), ("s", "b"), ("a", "x"), ("a", "y"), ("b", "y"),
+                 ("x", "t"), ("y", "t")]
+        assert not is_series_parallel(edges, "s", "t")
+
+    def test_empty_edges(self):
+        assert sp_decompose([], "s", "t") is None
+
+    def test_montage_like_not_sp(self):
+        # project i feeds diff i and diff i-1: the overlap breaks SP-ness
+        edges = [("s", "p0"), ("s", "p1"), ("s", "p2"),
+                 ("p0", "d0"), ("p1", "d0"), ("p1", "d1"), ("p2", "d1"),
+                 ("d0", "t"), ("d1", "t")]
+        assert not is_series_parallel(edges, "s", "t")
+
+
+class TestInternalVertices:
+    def test_chain_order_respects_series(self):
+        edges = [("s", "a"), ("a", "b"), ("b", "t")]
+        tree = sp_decompose(edges, "s", "t")
+        order = tree.internal_vertices()
+        assert order == ["a", "b"]
+
+    def test_all_vertices_covered(self):
+        edges = [("s", "a"), ("a", "t"), ("s", "b"), ("b", "t"),
+                 ("s", "c"), ("c", "d"), ("d", "t")]
+        tree = sp_decompose(edges, "s", "t")
+        assert set(tree.internal_vertices()) == {"a", "b", "c", "d"}
+
+
+class TestWorkflowFamiliesAreSP:
+    @pytest.mark.parametrize("family", ["blast", "bwa", "seismology", "epigenomics"])
+    def test_fork_join_families_are_sp(self, family):
+        from repro.generators.families import generate_topology
+        from repro.memdag.traversal import sp_traversal
+        wf = generate_topology(family, 40)
+        assert sp_traversal(wf) is not None
+
+    def test_montage_is_not_sp(self):
+        from repro.generators.families import generate_topology
+        from repro.memdag.traversal import sp_traversal
+        wf = generate_topology("montage", 40)
+        assert sp_traversal(wf) is None

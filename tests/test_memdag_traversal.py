@@ -1,0 +1,231 @@
+"""Tests of the traversal engines and the memdag front-end."""
+
+import numpy as np
+import pytest
+
+from repro.generators.random_dag import random_workflow
+from repro.memdag.model import peak_of_traversal
+from repro.memdag.requirement import RequirementCache, block_requirement
+from repro.memdag.spize import layered_traversal
+from repro.memdag.traversal import (
+    best_first_traversal,
+    brute_force_min_peak,
+    memdag_traversal,
+    sp_traversal,
+)
+from repro.workflow.graph import Workflow
+
+
+def _is_topological(wf, order, block=None):
+    block = set(block) if block is not None else set(wf.tasks())
+    pos = {u: i for i, u in enumerate(order)}
+    for u in block:
+        for v in wf.children(u):
+            if v in block and pos[u] > pos[v]:
+                return False
+    return True
+
+
+class TestBestFirst:
+    def test_valid_topological_order(self, fig1_workflow):
+        order = best_first_traversal(fig1_workflow)
+        assert _is_topological(fig1_workflow, order)
+        assert len(order) == 9
+
+    def test_block_restriction(self, fig1_workflow):
+        block = {6, 7, 8}
+        order = best_first_traversal(fig1_workflow, block)
+        assert set(order) == block
+        assert _is_topological(fig1_workflow, order, block)
+
+    def test_deterministic(self, fig1_workflow):
+        assert best_first_traversal(fig1_workflow) == best_first_traversal(fig1_workflow)
+
+    def test_prefers_memory_releasers(self):
+        """After a fork, the engine should consume files before producing more."""
+        wf = Workflow()
+        wf.add_task("src", memory=1.0)
+        wf.add_task("producer", memory=1.0)  # generates a big file
+        wf.add_task("consumer", memory=1.0)  # consumes src's file
+        wf.add_task("sink", memory=1.0)
+        wf.add_edge("src", "producer", 1.0)
+        wf.add_edge("src", "consumer", 30.0)
+        wf.add_edge("producer", "sink", 50.0)
+        wf.add_edge("consumer", "sink", 1.0)
+        order = best_first_traversal(wf)
+        assert order.index("consumer") < order.index("producer")
+
+
+class TestLayered:
+    def test_valid_topological_order(self, fig1_workflow):
+        order = layered_traversal(fig1_workflow)
+        assert _is_topological(fig1_workflow, order)
+
+    def test_respects_block(self, fig1_workflow):
+        order = layered_traversal(fig1_workflow, {1, 2, 3, 4})
+        assert set(order) == {1, 2, 3, 4}
+
+
+class TestSpEngine:
+    def test_chain_exact(self, chain_workflow):
+        order = sp_traversal(chain_workflow)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_single_task(self):
+        wf = Workflow()
+        wf.add_task("only")
+        assert sp_traversal(wf) == ["only"]
+
+    def test_optimal_on_random_sp_graphs(self):
+        """SP engine matches brute force on randomly nested fork-joins."""
+        rng = np.random.default_rng(11)
+        checked = 0
+        for _ in range(120):
+            wf = _random_sp_workflow(rng)
+            if wf.n_tasks > 9:
+                continue
+            order = sp_traversal(wf)
+            assert order is not None, "SP graph not recognized"
+            assert _is_topological(wf, order)
+            sp_peak = peak_of_traversal(wf, order)
+            brute = brute_force_min_peak(wf)
+            assert sp_peak == pytest.approx(brute.peak)
+            checked += 1
+        assert checked >= 30
+
+
+class TestMemdagFrontend:
+    def test_returns_valid_traversal(self, fig1_workflow):
+        result = memdag_traversal(fig1_workflow)
+        assert _is_topological(fig1_workflow, result.order)
+        assert result.peak == pytest.approx(
+            peak_of_traversal(fig1_workflow, list(result.order)))
+
+    def test_peak_bounds(self):
+        """max r_u <= memdag peak <= sum of activations (serial worst case)."""
+        rng = np.random.default_rng(5)
+        for seed in range(10):
+            wf = random_workflow(30, seed=rng)
+            result = memdag_traversal(wf)
+            lower = max(wf.task_requirement(u) for u in wf.tasks())
+            assert result.peak >= lower - 1e-9
+            upper = sum(wf.memory(u) + wf.out_cost(u) for u in wf.tasks())
+            assert result.peak <= upper + 1e-9
+
+    def test_never_worse_than_each_engine(self, fig1_workflow):
+        full = memdag_traversal(fig1_workflow)
+        bf_only = memdag_traversal(fig1_workflow, methods=("best_first",))
+        assert full.peak <= bf_only.peak + 1e-9
+
+    def test_close_to_optimal_on_small_dags(self):
+        rng = np.random.default_rng(17)
+        gaps = []
+        for seed in range(25):
+            wf = random_workflow(8, width=3, seed=rng)
+            result = memdag_traversal(wf)
+            brute = brute_force_min_peak(wf)
+            assert result.peak >= brute.peak - 1e-9
+            gaps.append(result.peak / brute.peak if brute.peak > 0 else 1.0)
+        assert np.mean(gaps) < 1.1  # empirically ~1.02
+
+    def test_empty_block(self, fig1_workflow):
+        result = memdag_traversal(fig1_workflow, block=set())
+        assert result.order == () and result.peak == 0.0
+
+    def test_unknown_method_raises(self, fig1_workflow):
+        with pytest.raises(ValueError):
+            memdag_traversal(fig1_workflow, methods=("nonsense",))
+
+
+class TestBruteForce:
+    def test_rejects_large_blocks(self):
+        wf = random_workflow(20, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_min_peak(wf, limit=10)
+
+    def test_chain_has_single_order(self, chain_workflow):
+        result = brute_force_min_peak(chain_workflow)
+        assert list(result.order) == ["a", "b", "c", "d"]
+
+
+class TestRequirementCache:
+    def test_caches_by_task_set(self, fig1_workflow):
+        cache = RequirementCache(fig1_workflow)
+        cache.peak({1, 2})
+        cache.peak({2, 1})
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_matches_direct_computation(self, fig1_workflow):
+        cache = RequirementCache(fig1_workflow)
+        direct = block_requirement(fig1_workflow, {6, 7, 8})
+        assert cache.peak({6, 7, 8}) == pytest.approx(direct.peak)
+
+    def test_singleton_equals_task_requirement(self, diamond_workflow):
+        cache = RequirementCache(diamond_workflow)
+        for u in diamond_workflow.tasks():
+            assert cache.peak({u}) == pytest.approx(
+                diamond_workflow.task_requirement(u))
+
+
+def _random_sp_workflow(rng) -> Workflow:
+    """Randomly nested series/parallel workflow between two terminals."""
+    wf = Workflow()
+    counter = [0]
+
+    def new_task():
+        counter[0] += 1
+        name = f"t{counter[0]}"
+        wf.add_task(name, memory=float(rng.integers(1, 10)))
+        return name
+
+    def build(u, v, depth):
+        r = rng.random()
+        if depth == 0 or r < 0.3:
+            wf.add_edge(u, v, float(rng.integers(1, 8)))
+        elif r < 0.6:
+            mid = new_task()
+            build(u, mid, depth - 1)
+            build(mid, v, depth - 1)
+        else:
+            for _ in range(int(rng.integers(2, 4))):
+                build(u, v, depth - 1)
+
+    s, t = new_task(), new_task()
+    build(s, t, 3)
+    return wf
+
+
+class TestExactEngine:
+    def test_exact_engine_matches_brute_force(self):
+        rng = np.random.default_rng(23)
+        for _ in range(10):
+            wf = random_workflow(9, width=3, seed=rng)
+            exact = memdag_traversal(wf, methods=("best_first", "exact"))
+            brute = brute_force_min_peak(wf)
+            assert exact.peak == pytest.approx(brute.peak)
+
+    def test_exact_skipped_above_limit(self):
+        from repro.memdag.traversal import EXACT_SIZE_LIMIT
+        wf = random_workflow(EXACT_SIZE_LIMIT + 5, seed=0)
+        result = memdag_traversal(wf, methods=("best_first", "exact"))
+        assert result.method == "best_first"  # exact engine not attempted
+
+
+class TestTreesAreOptimal:
+    def test_sp_engine_exact_on_random_out_trees(self):
+        """Out-trees are series-parallel; the SP engine must be optimal
+        (Liu's classical tree-pebbling setting)."""
+        rng = np.random.default_rng(31)
+        for _ in range(20):
+            wf = Workflow()
+            n = int(rng.integers(4, 9))
+            wf.add_task(0, memory=float(rng.integers(1, 8)))
+            for i in range(1, n):
+                parent = int(rng.integers(0, i))
+                wf.add_task(i, memory=float(rng.integers(1, 8)))
+                wf.add_edge(parent, i, float(rng.integers(1, 9)))
+            result = memdag_traversal(wf, methods=("sp",))
+            brute = brute_force_min_peak(wf)
+            assert result.peak == pytest.approx(brute.peak)

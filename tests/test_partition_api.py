@@ -1,0 +1,153 @@
+"""Tests of the acyclic partitioner's public contract."""
+
+import numpy as np
+import pytest
+
+from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
+from repro.generators.random_dag import random_workflow
+from repro.partition.api import (
+    acyclic_partition,
+    bisect_block,
+    partition_quality,
+)
+from repro.utils.errors import PartitionSplitError
+from repro.workflow.graph import Workflow
+
+
+def _check_contract(wf, blocks, k):
+    """Disjoint cover, non-empty blocks, acyclic quotient, at most k blocks."""
+    assert 1 <= len(blocks) <= k
+    seen = set()
+    for b in blocks:
+        assert b, "empty block"
+        assert not (b & seen), "overlapping blocks"
+        seen |= b
+    assert seen == set(wf.tasks())
+    index = {u: i for i, b in enumerate(blocks) for u in b}
+    # quotient acyclicity via longest-path check on block DAG
+    succ = {i: set() for i in range(len(blocks))}
+    for u, v, _ in wf.edges():
+        if index[u] != index[v]:
+            succ[index[u]].add(index[v])
+    indeg = {i: 0 for i in succ}
+    for outs in succ.values():
+        for j in outs:
+            indeg[j] += 1
+    ready = [i for i, d in indeg.items() if d == 0]
+    seen_blocks = 0
+    while ready:
+        i = ready.pop()
+        seen_blocks += 1
+        for j in succ[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                ready.append(j)
+    assert seen_blocks == len(blocks), "cyclic quotient"
+
+
+class TestBasicContract:
+    def test_k1_single_block(self, fig1_workflow):
+        blocks = acyclic_partition(fig1_workflow, 1)
+        assert len(blocks) == 1
+        assert blocks[0] == set(range(1, 10))
+
+    def test_small_graph_contract(self, fig1_workflow):
+        for k in (2, 3, 4, 9):
+            blocks = acyclic_partition(fig1_workflow, k)
+            _check_contract(fig1_workflow, blocks, k)
+
+    def test_chain_partitions_contiguously(self, chain_workflow):
+        blocks = acyclic_partition(chain_workflow, 2, weight="unit")
+        _check_contract(chain_workflow, blocks, 2)
+        assert len(blocks) == 2
+
+    def test_invalid_k(self, fig1_workflow):
+        with pytest.raises(ValueError):
+            acyclic_partition(fig1_workflow, 0)
+
+    def test_unknown_weight(self, fig1_workflow):
+        with pytest.raises(ValueError, match="weight"):
+            acyclic_partition(fig1_workflow, 2, weight="bogus")
+
+    def test_empty_node_set(self, fig1_workflow):
+        assert acyclic_partition(fig1_workflow, 2, nodes=[]) == []
+
+    def test_fewer_blocks_than_k_on_tiny_graphs(self):
+        wf = Workflow()
+        wf.add_edge("a", "b")
+        blocks = acyclic_partition(wf, 10)
+        assert len(blocks) <= 2
+
+
+class TestOnFamilies:
+    @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)
+    def test_families_contract(self, family):
+        wf = generate_workflow(family, 120, seed=1)
+        for k in (2, 8, 16):
+            blocks = acyclic_partition(wf, k)
+            _check_contract(wf, blocks, k)
+
+    def test_balance_is_reasonable(self):
+        wf = generate_workflow("epigenomics", 200, seed=2)
+        blocks = acyclic_partition(wf, 8, weight="work")
+        q = partition_quality(wf, blocks, weight="work")
+        # multilevel with eps=0.1: allow slack but catch degenerate splits
+        assert q["imbalance"] < 2.0
+
+    def test_cut_beats_random_partition(self):
+        rng = np.random.default_rng(0)
+        wf = generate_workflow("genome", 150, seed=3)
+        blocks = acyclic_partition(wf, 6)
+        cut = partition_quality(wf, blocks)["cut"]
+        # random acyclic chunking of a Kahn order, averaged
+        order = wf.topological_order()
+        random_cuts = []
+        for _ in range(5):
+            bounds = sorted(rng.choice(len(order) - 1, size=5, replace=False) + 1)
+            assignment = {}
+            b = 0
+            for i, u in enumerate(order):
+                while b < len(bounds) and i >= bounds[b]:
+                    b += 1
+                assignment[u] = b
+            random_cuts.append(sum(
+                c for u, v, c in wf.edges() if assignment[u] != assignment[v]))
+        assert cut <= np.mean(random_cuts)
+
+
+class TestOnRandomDags:
+    def test_random_contract(self):
+        rng = np.random.default_rng(9)
+        for seed in range(8):
+            wf = random_workflow(int(rng.integers(10, 120)), seed=rng)
+            k = int(rng.integers(2, 12))
+            blocks = acyclic_partition(wf, k)
+            _check_contract(wf, blocks, k)
+
+
+class TestBisect:
+    def test_bisect_block(self, fig1_workflow):
+        pieces = bisect_block(fig1_workflow, {1, 2, 3, 4, 5})
+        assert len(pieces) >= 2
+        assert set().union(*pieces) == {1, 2, 3, 4, 5}
+
+    def test_singleton_raises(self, fig1_workflow):
+        with pytest.raises(PartitionSplitError):
+            bisect_block(fig1_workflow, {1})
+
+    def test_two_tasks_split(self, fig1_workflow):
+        pieces = bisect_block(fig1_workflow, {1, 2})
+        assert sorted(len(p) for p in pieces) == [1, 1]
+
+    def test_bisect_respects_subset(self, fig1_workflow):
+        pieces = bisect_block(fig1_workflow, {6, 7, 8})
+        assert set().union(*pieces) == {6, 7, 8}
+
+
+class TestQuality:
+    def test_partition_quality_fields(self, fig1_workflow):
+        blocks = acyclic_partition(fig1_workflow, 3)
+        q = partition_quality(fig1_workflow, blocks)
+        assert set(q) == {"cut", "imbalance", "n_blocks"}
+        assert q["n_blocks"] == len(blocks)
+        assert q["cut"] >= 0

@@ -1,0 +1,79 @@
+"""Serialization tests: JSON round-trips and DOT import/export."""
+
+import pytest
+
+from repro.workflow.graph import Workflow
+from repro.workflow.io import (
+    load_workflow_json,
+    save_workflow_json,
+    workflow_from_dict,
+    workflow_from_dot,
+    workflow_to_dict,
+    workflow_to_dot,
+)
+
+
+class TestJson:
+    def test_dict_roundtrip(self, fig1_workflow):
+        back = workflow_from_dict(workflow_to_dict(fig1_workflow))
+        assert back.n_tasks == fig1_workflow.n_tasks
+        assert back.n_edges == fig1_workflow.n_edges
+        for u, v, c in fig1_workflow.edges():
+            assert back.edge_cost(u, v) == c
+
+    def test_file_roundtrip(self, tmp_path, diamond_workflow):
+        path = tmp_path / "wf.json"
+        save_workflow_json(diamond_workflow, path)
+        back = load_workflow_json(path)
+        assert back.name == "diamond"
+        assert back.work("y") == 3.0
+        assert back.memory("y") == 6.0
+
+    def test_dict_defaults(self):
+        wf = workflow_from_dict({"tasks": [{"id": "a"}], "edges": []})
+        assert wf.work("a") == 1.0
+        assert wf.memory("a") == 0.0
+
+
+class TestDot:
+    def test_roundtrip(self, diamond_workflow):
+        text = workflow_to_dot(diamond_workflow)
+        back = workflow_from_dot(text, name="diamond")
+        assert back.n_tasks == 4
+        assert back.n_edges == 4
+        assert back.work("y") == 3.0
+        assert back.edge_cost("s", "x") == 2.0
+
+    def test_parses_unweighted_nextflow_style(self):
+        text = """
+        digraph "pipeline" {
+          fastqc -> trim;
+          trim -> align;
+          align -> multiqc;
+          fastqc -> multiqc;
+        }
+        """
+        wf = workflow_from_dot(text)
+        assert wf.n_tasks == 4
+        assert wf.n_edges == 4
+        # unweighted elements get the missing-historical-data defaults
+        assert wf.work("trim") == 1.0
+        assert wf.edge_cost("trim", "align") == 0.0
+
+    def test_ignores_comments_and_styling(self):
+        text = """
+        digraph g {
+          // a comment
+          node [shape=box];
+          "a" [work=5, memory=2];
+          "a" -> "b" [cost=7];
+        }
+        """
+        wf = workflow_from_dot(text)
+        assert wf.work("a") == 5.0
+        assert wf.memory("a") == 2.0
+        assert wf.edge_cost("a", "b") == 7.0
+
+    def test_weight_attribute_alias(self):
+        wf = workflow_from_dot('digraph g {\n a -> b [weight=3];\n}')
+        assert wf.edge_cost("a", "b") == 3.0

@@ -1,0 +1,70 @@
+"""Validation tests."""
+
+import math
+
+import pytest
+
+from repro.utils.errors import CyclicWorkflowError
+from repro.workflow.graph import Workflow
+from repro.workflow.validation import WorkflowValidationError, validate_workflow
+
+
+def test_valid_workflow_passes(fig1_workflow):
+    validate_workflow(fig1_workflow)
+
+
+def test_empty_workflow_rejected():
+    with pytest.raises(WorkflowValidationError):
+        validate_workflow(Workflow())
+
+
+def test_cycle_rejected():
+    wf = Workflow()
+    wf.add_edge("a", "b")
+    wf.add_edge("b", "a")
+    with pytest.raises(CyclicWorkflowError):
+        validate_workflow(wf)
+
+
+def test_negative_work_rejected():
+    wf = Workflow()
+    wf.add_task("a", work=-1.0)
+    with pytest.raises(WorkflowValidationError, match="work"):
+        validate_workflow(wf)
+
+
+def test_nan_memory_rejected():
+    wf = Workflow()
+    wf.add_task("a", memory=math.nan)
+    with pytest.raises(WorkflowValidationError, match="memory"):
+        validate_workflow(wf)
+
+
+def test_infinite_edge_rejected():
+    wf = Workflow()
+    wf.add_edge("a", "b", math.inf)
+    with pytest.raises(WorkflowValidationError, match="edge"):
+        validate_workflow(wf)
+
+
+def test_zero_work_allowed():
+    """The paper's weight-1 default implies small works are fine; zero too."""
+    wf = Workflow()
+    wf.add_task("a", work=0.0)
+    validate_workflow(wf)
+
+
+def test_single_source_requirement(diamond_workflow):
+    validate_workflow(diamond_workflow, require_single_source=True)
+    diamond_workflow.add_task("orphan_source")
+    diamond_workflow.add_edge("orphan_source", "t")
+    with pytest.raises(WorkflowValidationError, match="single source"):
+        validate_workflow(diamond_workflow, require_single_source=True)
+
+
+def test_error_message_truncates_problem_list():
+    wf = Workflow()
+    for i in range(10):
+        wf.add_task(f"t{i}", work=-1.0)
+    with pytest.raises(WorkflowValidationError, match=r"\+5 more"):
+        validate_workflow(wf)
