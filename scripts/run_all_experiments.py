@@ -4,11 +4,14 @@ Collects one record set per cluster configuration and derives every
 table/figure from the shared records (instead of re-running corpora per
 figure). Writes ``experiments_results.json`` and a plain-text report.
 
-Environment: REPRO_SCALE / REPRO_FULL control workflow sizes as usual.
+Environment: REPRO_SCALE / REPRO_FULL control workflow sizes as usual;
+``--parallel N`` (or REPRO_PARALLEL) fans instances out over N worker
+processes per corpus run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -40,30 +43,36 @@ def log(msg: str) -> None:
     print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
 
-def run(cluster, corpus, label):
+def run(cluster, corpus, label, parallel=None):
     log(f"running corpus on {label} ({len(corpus)} instances)")
     start = time.time()
-    records = run_corpus(corpus, cluster, config=CONFIG)
+    records = run_corpus(corpus, cluster, config=CONFIG, parallel=parallel)
     log(f"  done in {time.time() - start:.0f}s")
     return records
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
+                        help="worker processes per corpus run "
+                             "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
+    args = parser.parse_args()
     sizes = synthetic_sizes()
     log(f"synthetic sizes: {sizes}")
     corpus = build_corpus(seed=SEED, sizes=sizes)
     corpus_4x = build_corpus(seed=SEED, sizes=sizes, work_factor=4.0)
 
     record_sets = {}
-    record_sets["default"] = run(default_cluster(), corpus, "default-36")
-    record_sets["small"] = run(small_cluster(), corpus, "small-18")
-    record_sets["large"] = run(large_cluster(), corpus, "large-60")
-    record_sets["nohet"] = run(nohet_cluster(), corpus, "nohet")
-    record_sets["lesshet"] = run(lesshet_cluster(), corpus, "lesshet")
-    record_sets["morehet"] = run(morehet_cluster(), corpus, "morehet")
-    record_sets["beta0.1"] = run(default_cluster(bandwidth=0.1), corpus, "beta=0.1")
-    record_sets["beta5"] = run(default_cluster(bandwidth=5.0), corpus, "beta=5")
-    record_sets["demand4x"] = run(default_cluster(), corpus_4x, "4x demand")
+    j = args.parallel
+    record_sets["default"] = run(default_cluster(), corpus, "default-36", j)
+    record_sets["small"] = run(small_cluster(), corpus, "small-18", j)
+    record_sets["large"] = run(large_cluster(), corpus, "large-60", j)
+    record_sets["nohet"] = run(nohet_cluster(), corpus, "nohet", j)
+    record_sets["lesshet"] = run(lesshet_cluster(), corpus, "lesshet", j)
+    record_sets["morehet"] = run(morehet_cluster(), corpus, "morehet", j)
+    record_sets["beta0.1"] = run(default_cluster(bandwidth=0.1), corpus, "beta=0.1", j)
+    record_sets["beta5"] = run(default_cluster(bandwidth=5.0), corpus, "beta=5", j)
+    record_sets["demand4x"] = run(default_cluster(), corpus_4x, "4x demand", j)
 
     out = {"sizes": sizes, "figures": {}}
 

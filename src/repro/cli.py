@@ -123,6 +123,7 @@ def cmd_experiment(args) -> int:
             kwargs["families"] = tuple(args.families.split(","))
         kwargs["seed"] = args.seed
         kwargs["config"] = DagHetPartConfig(k_prime_strategy=args.k_strategy)
+        kwargs["parallel"] = args.parallel
         if args.progress:
             kwargs["progress"] = lambda msg: print(f"  {msg}", file=sys.stderr)
     result = driver(**kwargs)
@@ -213,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--k-strategy", default="doubling",
                    choices=["auto", "all", "doubling"])
+    p.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
+                   help="run corpus instances over N worker processes "
+                        "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
     p.add_argument("--progress", action="store_true")
     p.add_argument("--json", help="write the rows to a file")
     p.add_argument("--plot", action="store_true",

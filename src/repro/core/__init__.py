@@ -4,6 +4,8 @@
   merge/unmerge (Section 3.3, Fig. 1);
 * :mod:`repro.core.makespan` — bottom weights, makespan, critical path
   (Eqs. (1)-(2));
+* :mod:`repro.core.evaluator` — incremental makespan engine with
+  O(affected-ancestors) delta evaluation for the merge/swap searches;
 * :mod:`repro.core.mapping` — validated block-to-processor mappings;
 * :mod:`repro.core.baseline` — the DagHetMem baseline (Section 4.1);
 * :mod:`repro.core.assignment` — Step 2 (``BiggestAssign``/``FitBlock``);
@@ -15,6 +17,7 @@
 
 from repro.core.quotient import QuotientGraph, QBlock
 from repro.core.makespan import bottom_weights, makespan, critical_path
+from repro.core.evaluator import MakespanEvaluator
 from repro.core.mapping import Mapping, BlockAssignment, simulate_mapping
 from repro.core.baseline import dag_het_mem
 from repro.core.assignment import biggest_assign, fit_block, AssignmentState
@@ -28,6 +31,7 @@ __all__ = [
     "bottom_weights",
     "makespan",
     "critical_path",
+    "MakespanEvaluator",
     "Mapping",
     "BlockAssignment",
     "simulate_mapping",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
 
 from repro.core.assignment import biggest_assign
+from repro.core.evaluator import MakespanEvaluator
 from repro.core.mapping import Mapping
 from repro.core.makespan import makespan
 from repro.core.merging import merge_unassigned_to_assigned
@@ -55,6 +56,11 @@ class DagHetPartConfig:
         :func:`repro.partition.api.acyclic_partition`).
     enable_swaps / enable_idle_moves:
         Toggle the two halves of Step 4 (ablation benches).
+    use_evaluator:
+        Price candidate merges/swaps/moves with the incremental
+        :class:`~repro.core.evaluator.MakespanEvaluator` (delta
+        evaluation) instead of full bottom-weight passes. Bit-for-bit
+        equivalent; off only for the equivalence/ablation benches.
     prefer_off_critical_path:
         Toggle Step 3's merge preference (ablation bench).
     traversal_methods:
@@ -67,6 +73,7 @@ class DagHetPartConfig:
     eps: float = 0.10
     enable_swaps: bool = True
     enable_idle_moves: bool = True
+    use_evaluator: bool = True
     prefer_off_critical_path: bool = True
     traversal_methods: Tuple[str, ...] = ("best_first", "layered", "sp")
 
@@ -109,8 +116,11 @@ def _run_pipeline(wf: Workflow, cluster: Cluster, k_prime: int,
         # produce blocks whose quotient is cyclic; such a k' is skipped
         return None
 
+    evaluator = MakespanEvaluator(q, cluster) if config.use_evaluator else None
+
     ok = merge_unassigned_to_assigned(
-        q, cluster, cache, prefer_off_critical_path=config.prefer_off_critical_path)
+        q, cluster, cache, prefer_off_critical_path=config.prefer_off_critical_path,
+        evaluator=evaluator)
     if not ok:
         return None
 
@@ -121,9 +131,11 @@ def _run_pipeline(wf: Workflow, cluster: Cluster, k_prime: int,
             return None
 
     if config.enable_swaps:
-        improve_by_swaps(q, cluster, cache)
+        improve_by_swaps(q, cluster, cache, evaluator=evaluator)
     if config.enable_idle_moves:
-        move_critical_to_idle(q, cluster, cache)
+        move_critical_to_idle(q, cluster, cache, evaluator=evaluator)
+    if evaluator is not None:
+        return evaluator.makespan(), q
     return makespan(q, cluster), q
 
 

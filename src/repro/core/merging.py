@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable, List, Optional, Set, Tuple
 
+from repro.core.evaluator import MakespanEvaluator
 from repro.core.makespan import critical_path, makespan
 from repro.core.quotient import BlockId, QuotientGraph
 from repro.memdag.requirement import RequirementCache
@@ -30,6 +31,7 @@ MAX_RETRIES = 2
 def find_ms_opt_merge(q: QuotientGraph, nu: BlockId, candidates: Set[BlockId],
                       cluster: Cluster, cache: RequirementCache,
                       pool: Optional[List[BlockId]] = None,
+                      evaluator: Optional[MakespanEvaluator] = None,
                       ) -> Tuple[float, Optional[BlockId], Optional[BlockId]]:
     """Algorithm 3: best feasible merge of ``nu`` into one of ``candidates``.
 
@@ -71,9 +73,12 @@ def find_ms_opt_merge(q: QuotientGraph, nu: BlockId, candidates: Set[BlockId],
         requirement = cache.peak(q.blocks[merged_id].tasks)
         if requirement <= proc.memory:
             # estimated makespan with the merged vertex on partner's proc
-            q.blocks[merged_id].proc = proc
-            mu = makespan(q, cluster)
-            q.blocks[merged_id].proc = None
+            q.set_proc(merged_id, proc)
+            if evaluator is not None:
+                mu = evaluator.makespan()
+            else:
+                mu = makespan(q, cluster)
+            q.set_proc(merged_id, None)
             if mu <= best_mu:
                 best_mu = mu
                 best_partner = partner
@@ -93,13 +98,14 @@ def _execute_merge(q: QuotientGraph, nu: BlockId, partner: BlockId,
     merged_id, _ = q.merge(nu, partner)
     if third is not None:
         merged_id, _ = q.merge(merged_id, third)
-    q.blocks[merged_id].proc = proc
+    q.set_proc(merged_id, proc)
     return merged_id
 
 
 def merge_unassigned_to_assigned(q: QuotientGraph, cluster: Cluster,
                                  cache: RequirementCache,
-                                 prefer_off_critical_path: bool = True) -> bool:
+                                 prefer_off_critical_path: bool = True,
+                                 evaluator: Optional[MakespanEvaluator] = None) -> bool:
     """Algorithm 4. Returns True iff every vertex ends up assigned.
 
     Mutates ``q`` in place. Deviation from the paper's pseudocode: instead
@@ -116,7 +122,12 @@ def merge_unassigned_to_assigned(q: QuotientGraph, cluster: Cluster,
     if not unassigned:
         return True
 
-    path = set(critical_path(q, cluster))
+    def _path() -> Set[BlockId]:
+        if evaluator is not None:
+            return set(evaluator.critical_path())
+        return set(critical_path(q, cluster))
+
+    path = _path()
     while unassigned:
         progress = False
         next_round: deque = deque()
@@ -131,13 +142,15 @@ def merge_unassigned_to_assigned(q: QuotientGraph, cluster: Cluster,
             third = None
             if prefer_off_critical_path:
                 _, partner, third = find_ms_opt_merge(
-                    q, nu, assigned - path, cluster, cache)
+                    q, nu, assigned - path, cluster, cache,
+                    evaluator=evaluator)
             if partner is None:
-                _, partner, third = find_ms_opt_merge(q, nu, assigned, cluster, cache)
+                _, partner, third = find_ms_opt_merge(
+                    q, nu, assigned, cluster, cache, evaluator=evaluator)
 
             if partner is not None:
                 _execute_merge(q, nu, partner, third)
-                path = set(critical_path(q, cluster))
+                path = _path()
                 progress = True
             else:
                 q.blocks[nu].retry_count += 1
@@ -156,11 +169,12 @@ def merge_unassigned_to_assigned(q: QuotientGraph, cluster: Cluster,
                 assigned = q.assigned_ids()
                 slack_pool = _by_memory_slack(q, assigned, cache)
                 _, partner, third = find_ms_opt_merge(
-                    q, nu, assigned, cluster, cache, pool=slack_pool)
+                    q, nu, assigned, cluster, cache, pool=slack_pool,
+                    evaluator=evaluator)
                 if partner is None:
                     return False  # no solution could be found
                 _execute_merge(q, nu, partner, third)
-                path = set(critical_path(q, cluster))
+                path = _path()
                 progress = True
         unassigned = deque(x for x in next_round if x in q.blocks)
     return True
@@ -190,7 +204,7 @@ def _assign_to_free_processor(q: QuotientGraph, nu: BlockId, cluster: Cluster,
         if proc.name in used:
             continue
         if req <= proc.memory:
-            q.blocks[nu].proc = proc
+            q.set_proc(nu, proc)
             return True
         break  # sorted by memory: nothing later fits either
     return False

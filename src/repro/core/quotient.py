@@ -60,6 +60,10 @@ class QuotientGraph:
     enforced — Step 3 relies on detecting the cycles a merge creates.
     """
 
+    #: op-log capacity; a consumer that falls further behind than this is
+    #: told to rebuild from scratch instead (overflow flag)
+    OPLOG_CAP = 4096
+
     def __init__(self, wf: Workflow):
         self.wf = wf
         self.blocks: Dict[BlockId, QBlock] = {}
@@ -67,6 +71,56 @@ class QuotientGraph:
         self.pred: Dict[BlockId, Dict[BlockId, float]] = {}
         self._ids = itertools.count()
         self._task_block: Dict[Node, BlockId] = {}
+        #: bumped on every structural or mapping mutation (dirty marker
+        #: for incremental consumers such as the makespan evaluator)
+        self.version = 0
+        self._oplog: Optional[List[Tuple]] = None
+        self._oplog_overflow = False
+
+    # ------------------------------------------------------------------
+    # change tracking (consumed by repro.core.evaluator)
+    # ------------------------------------------------------------------
+    def enable_oplog(self) -> None:
+        """Start recording mutations for one incremental consumer.
+
+        The log is single-consumer: whoever calls :meth:`drain_oplog`
+        owns it. Re-enabling clears any pending entries.
+        """
+        self._oplog = []
+        self._oplog_overflow = False
+
+    def drain_oplog(self) -> Tuple[List[Tuple], bool]:
+        """Return ``(ops, overflowed)`` since the last drain and clear.
+
+        ``overflowed`` is True when more than :data:`OPLOG_CAP` mutations
+        accumulated — the consumer must do a full rebuild in that case.
+        """
+        if self._oplog is None:
+            return [], True
+        ops, overflow = self._oplog, self._oplog_overflow
+        self._oplog = []
+        self._oplog_overflow = False
+        return ops, overflow
+
+    def _log(self, op: Tuple) -> None:
+        self.version += 1
+        log = self._oplog
+        if log is None:
+            return
+        if len(log) >= self.OPLOG_CAP:
+            self._oplog_overflow = True
+            log.clear()
+            return
+        log.append(op)
+
+    def set_proc(self, bid: BlockId, proc: Optional[Processor]) -> None:
+        """Assign (or clear) the processor of ``bid``, with change tracking.
+
+        Equivalent to ``q.blocks[bid].proc = proc`` except incremental
+        consumers are notified; all core call sites use this method.
+        """
+        self.blocks[bid].proc = proc
+        self._log(("proc", bid))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -104,9 +158,11 @@ class QuotientGraph:
         self.pred[bid] = {}
         for u in tasks:
             self._task_block[u] = bid
+        self._log(("add", bid))
         return bid
 
     def _rebuild_edges(self) -> None:
+        self._log(("rebuild",))
         for bid in self.blocks:
             self.succ[bid] = {}
             self.pred[bid] = {}
@@ -198,6 +254,7 @@ class QuotientGraph:
             self.succ[x][new_id] = c
         for u in merged_tasks:
             self._task_block[u] = new_id
+        self._log(("merge", new_id, a, b))
         return new_id, token
 
     def unmerge(self, token: _UndoToken) -> None:
@@ -230,6 +287,7 @@ class QuotientGraph:
             self._task_block[u] = a
         for u in token.block_b.tasks:
             self._task_block[u] = b
+        self._log(("unmerge", new_id, a, b))
 
     # ------------------------------------------------------------------
     def topological_order(self) -> Optional[List[BlockId]]:

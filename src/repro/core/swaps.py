@@ -8,12 +8,19 @@ Two mechanisms, both monotone in makespan:
 * **idle moves** — when processors remain idle (small workflows, few
   blocks), move critical-path vertices to faster idle processors that can
   hold them, recomputing the critical path after each move.
+
+Both accept an optional :class:`~repro.core.evaluator.MakespanEvaluator`;
+with one, each candidate mutation is priced by delta evaluation
+(O(affected ancestors)) instead of a full bottom-weight pass over the
+quotient. Without one, the original full-recompute path is used — the two
+are bit-for-bit equivalent (see ``benchmarks/test_evaluator_delta.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from repro.core.evaluator import MakespanEvaluator
 from repro.core.makespan import critical_path, makespan
 from repro.core.quotient import BlockId, QuotientGraph
 from repro.memdag.requirement import RequirementCache
@@ -24,7 +31,8 @@ Node = Hashable
 
 
 def improve_by_swaps(q: QuotientGraph, cluster: Cluster,
-                     cache: RequirementCache, max_rounds: int = 1000) -> int:
+                     cache: RequirementCache, max_rounds: int = 1000,
+                     evaluator: Optional[MakespanEvaluator] = None) -> int:
     """Steepest-descent processor swaps; returns the number applied.
 
     A swap of vertices ``(nu, nu')`` is feasible when each block fits the
@@ -33,55 +41,71 @@ def improve_by_swaps(q: QuotientGraph, cluster: Cluster,
     best pair and stops when no improving swap exists).
     """
     applied = 0
-    requirement: Dict[BlockId, float] = {
-        bid: cache.peak(blk.tasks) for bid, blk in q.blocks.items()
-    }
-    current = makespan(q, cluster)
+    requirement: Dict[BlockId, float] = {}
+    ev = evaluator
+    current = ev.makespan() if ev is not None else makespan(q, cluster)
     for _ in range(max_rounds):
         ids = [bid for bid, blk in q.blocks.items() if blk.proc is not None]
+        for bid in ids:
+            # filled lazily each round: merges elsewhere may have replaced
+            # block ids since the previous round (or a previous call)
+            if bid not in requirement:
+                requirement[bid] = cache.peak(q.blocks[bid].tasks)
         best_mu = current
         best_pair: Optional[Tuple[BlockId, BlockId]] = None
         for i, a in enumerate(ids):
             for b in ids[i + 1:]:
                 pa, pb = q.blocks[a].proc, q.blocks[b].proc
-                if pa.name == pb.name:
+                if pa is pb:
                     continue
                 if requirement[a] > pb.memory or requirement[b] > pa.memory:
                     continue
-                q.blocks[a].proc, q.blocks[b].proc = pb, pa
-                mu = makespan(q, cluster)
-                q.blocks[a].proc, q.blocks[b].proc = pa, pb
+                if ev is not None:
+                    mu = ev.eval_swap(a, b)
+                else:
+                    q.blocks[a].proc, q.blocks[b].proc = pb, pa
+                    mu = makespan(q, cluster)
+                    q.blocks[a].proc, q.blocks[b].proc = pa, pb
                 if mu < best_mu - 1e-12:
                     best_mu = mu
                     best_pair = (a, b)
         if best_pair is None:
             break
         a, b = best_pair
-        q.blocks[a].proc, q.blocks[b].proc = q.blocks[b].proc, q.blocks[a].proc
+        if ev is not None:
+            ev.apply_swap(a, b)
+        else:
+            q.blocks[a].proc, q.blocks[b].proc = q.blocks[b].proc, q.blocks[a].proc
         current = best_mu
         applied += 1
     return applied
 
 
 def move_critical_to_idle(q: QuotientGraph, cluster: Cluster,
-                          cache: RequirementCache) -> int:
+                          cache: RequirementCache,
+                          evaluator: Optional[MakespanEvaluator] = None) -> int:
     """Move critical-path vertices to faster idle processors; returns #moves.
 
     Activated only when some processors are idle after swapping. Each
     critical-path vertex is moved at most once ("as long as there are
     tasks in the critical path that have not been moved"); moves must
-    strictly improve the makespan.
+    strictly improve the makespan. The idle pool is recomputed from
+    :meth:`QuotientGraph.used_processors` before each pass, so a processor
+    vacated by a move rejoins it exactly when no block uses it any more.
     """
-    used = q.used_processors()
-    idle: List[Processor] = [p for p in cluster.by_speed_desc() if p.name not in used]
-    if not idle:
-        return 0
-
+    ev = evaluator
     moved: Set[BlockId] = set()
     moves = 0
-    current = makespan(q, cluster)
+    current: Optional[float] = None
     while True:
-        path = critical_path(q, cluster)
+        used = q.used_processors()
+        idle: List[Processor] = [p for p in cluster.by_speed_desc()
+                                 if p.name not in used]
+        if not idle:
+            return moves
+        if current is None:
+            current = ev.makespan() if ev is not None else makespan(q, cluster)
+        path = ev.critical_path() if ev is not None else critical_path(q, cluster)
         progressed = False
         for nu in path:
             if nu in moved or nu not in q.blocks:
@@ -94,18 +118,22 @@ def move_critical_to_idle(q: QuotientGraph, cluster: Cluster,
                 if candidate.speed <= blk.proc.speed or req > candidate.memory:
                     continue
                 old = blk.proc
-                blk.proc = candidate
-                mu = makespan(q, cluster)
+                if ev is not None:
+                    mu = ev.eval_move(nu, candidate)
+                else:
+                    blk.proc = candidate
+                    mu = makespan(q, cluster)
+                    blk.proc = old
                 if mu < current - 1e-12:
-                    idle.remove(candidate)
-                    idle.append(old)
-                    idle.sort(key=lambda p: (-p.speed, -p.memory, p.name))
+                    if ev is not None:
+                        ev.apply_move(nu, candidate)
+                    else:
+                        blk.proc = candidate
                     current = mu
                     moved.add(nu)
                     moves += 1
                     progressed = True
                     break
-                blk.proc = old
             if progressed:
                 break  # critical path changed; recompute
         if not progressed:

@@ -38,11 +38,12 @@ _CAT_ORDER = {cat: i for i, cat in enumerate(SIZE_CATEGORIES)}
 
 def _records(cluster, seed=0, full=None, families=None, sizes=None,
              include_real=True, config=None, work_factor=1.0,
-             progress=None) -> List[RunRecord]:
+             progress=None, parallel=None) -> List[RunRecord]:
     corpus = build_corpus(seed=seed, full=full, families=families,
                           include_real=include_real, sizes=sizes,
                           work_factor=work_factor)
-    return run_corpus(corpus, cluster, config=config, progress=progress)
+    return run_corpus(corpus, cluster, config=config, progress=progress,
+                      parallel=parallel)
 
 
 # ----------------------------------------------------------------------
@@ -70,11 +71,11 @@ def table3() -> Dict[str, List[Dict]]:
 # ----------------------------------------------------------------------
 def fig3_left(seed=0, full=None, families=None, sizes=None,
               config: Optional[DagHetPartConfig] = None,
-              progress=None) -> Dict[str, List]:
+              progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan (%) of DagHetPart vs DagHetMem per workflow type."""
     records = _records(default_cluster(), seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
-                       progress=progress)
+                       progress=progress, parallel=parallel)
     rel = relative_makespan_by(records, key=lambda r: r.category)
     rows = [{"workflow_type": cat, "relative_makespan_pct": rel[cat]}
             for cat in SIZE_CATEGORIES if cat in rel]
@@ -89,13 +90,13 @@ def fig3_left(seed=0, full=None, families=None, sizes=None,
 # ----------------------------------------------------------------------
 def fig3_right(seed=0, full=None, families=None, sizes=None,
                config: Optional[DagHetPartConfig] = None,
-               progress=None) -> Dict[str, List]:
+               progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan (%) across small/default/large clusters (18/36/60)."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
     for cluster in (small_cluster(), default_cluster(), large_cluster()):
         records = _records(cluster, seed=seed, full=full, families=families,
-                           sizes=sizes, config=config, progress=progress)
+                           sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel = relative_makespan_by(records, key=lambda r: r.category)
         for cat in SIZE_CATEGORIES:
@@ -111,14 +112,14 @@ def fig3_right(seed=0, full=None, families=None, sizes=None,
 # ----------------------------------------------------------------------
 def fig4(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """NoHet / LessHet / default / MoreHet: relative and absolute makespan."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
     for label, cluster in (("nohet", nohet_cluster()), ("lesshet", lesshet_cluster()),
                            ("default", default_cluster()), ("morehet", morehet_cluster())):
         records = _records(cluster, seed=seed, full=full, families=families,
-                           sizes=sizes, config=config, progress=progress)
+                           sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel = relative_makespan_by(records, key=lambda r: r.category)
         absolute = aggregate_by(
@@ -137,11 +138,11 @@ def fig4(seed=0, full=None, families=None, sizes=None,
 # ----------------------------------------------------------------------
 def fig5(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan per workflow family as a function of size."""
     records = _records(default_cluster(), seed=seed, full=full,
                        families=families, sizes=sizes, include_real=False,
-                       config=config, progress=progress)
+                       config=config, progress=progress, parallel=parallel)
     rows = [
         {"family": rec.family, "n_tasks": rec.n_tasks,
          "relative_makespan_pct": 100.0 * ratio}
@@ -153,11 +154,11 @@ def fig5(seed=0, full=None, families=None, sizes=None,
 
 def fig6(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """Absolute DagHetPart makespan per family as a function of size."""
     records = _records(default_cluster(), seed=seed, full=full,
                        families=families, sizes=sizes, include_real=False,
-                       config=config, progress=progress)
+                       config=config, progress=progress, parallel=parallel)
     rows = [
         {"family": r.family, "n_tasks": r.n_tasks, "makespan": r.makespan}
         for r in records if r.algorithm == "DagHetPart" and r.success
@@ -172,14 +173,14 @@ def fig6(seed=0, full=None, families=None, sizes=None,
 def fig7(betas: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 5.0),
          seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan vs bandwidth, by workflow type."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
     for beta in betas:
         records = _records(default_cluster(bandwidth=beta), seed=seed,
                            full=full, families=families, sizes=sizes,
-                           config=config, progress=progress)
+                           config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel = relative_makespan_by(records, key=lambda r: r.category)
         for cat in SIZE_CATEGORIES:
@@ -195,11 +196,11 @@ def fig7(betas: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 5.0),
 # ----------------------------------------------------------------------
 def fig8(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """Per-workflow running time of DagHetPart relative to DagHetMem."""
     records = _records(default_cluster(), seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
-                       progress=progress)
+                       progress=progress, parallel=parallel)
     by_instance: Dict[str, Dict[str, RunRecord]] = {}
     for r in records:
         by_instance.setdefault(r.instance, {})[r.algorithm] = r
@@ -216,11 +217,11 @@ def fig8(seed=0, full=None, families=None, sizes=None,
 
 def fig9(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
-         progress=None) -> Dict[str, List]:
+         progress=None, parallel=None) -> Dict[str, List]:
     """Absolute running time of DagHetPart by workflow type (log-scale plot)."""
     records = _records(default_cluster(), seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
-                       progress=progress)
+                       progress=progress, parallel=parallel)
     rows = [
         {"workflow_type": r.category, "instance": r.instance,
          "n_tasks": r.n_tasks, "runtime_sec": r.runtime}
@@ -232,10 +233,10 @@ def fig9(seed=0, full=None, families=None, sizes=None,
 
 def table4(seed=0, full=None, families=None, sizes=None,
            config: Optional[DagHetPartConfig] = None,
-           progress=None) -> Dict[str, List]:
+           progress=None, parallel=None) -> Dict[str, List]:
     """Table 4: avg relative and absolute running times per workflow set."""
     data = fig8(seed=seed, full=full, families=families, sizes=sizes,
-                config=config, progress=progress)
+                config=config, progress=progress, parallel=parallel)
     records = data["records"]
     by_cat_rel: Dict[str, List[float]] = {}
     by_cat_abs: Dict[str, List[float]] = {}
@@ -267,13 +268,13 @@ def table4(seed=0, full=None, families=None, sizes=None,
 # ----------------------------------------------------------------------
 def success_counts_experiment(seed=0, full=None, families=None, sizes=None,
                               config: Optional[DagHetPartConfig] = None,
-                              progress=None) -> Dict[str, List]:
+                              progress=None, parallel=None) -> Dict[str, List]:
     """How many workflows each algorithm schedules on each cluster size."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
     for cluster in (small_cluster(), default_cluster(), large_cluster()):
         records = _records(cluster, seed=seed, full=full, families=families,
-                           sizes=sizes, config=config, progress=progress)
+                           sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         for (cat, alg), (ok, total) in sorted(success_counts(records).items()):
             rows.append({"cluster": cluster.name, "workflow_type": cat,
@@ -286,7 +287,7 @@ def success_counts_experiment(seed=0, full=None, families=None, sizes=None,
 # ----------------------------------------------------------------------
 def demand4x(seed=0, full=None, families=None, sizes=None,
              config: Optional[DagHetPartConfig] = None,
-             progress=None) -> Dict[str, List]:
+             progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespans with normal vs 4x workloads, side by side."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
@@ -294,7 +295,7 @@ def demand4x(seed=0, full=None, families=None, sizes=None,
     for factor in (1.0, 4.0):
         records = _records(default_cluster(), seed=seed, full=full,
                            families=families, sizes=sizes, config=config,
-                           work_factor=factor, progress=progress)
+                           work_factor=factor, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel_by_factor[factor] = relative_makespan_by(records, key=lambda r: r.category)
     for cat in SIZE_CATEGORIES:

@@ -3,13 +3,19 @@
 One :class:`RunRecord` per (instance, algorithm). Failures to schedule are
 legitimate outcomes (Section 5.2.2 counts them), so they are recorded, not
 raised.
+
+:func:`run_corpus` can fan instances out over worker processes
+(``parallel=N``); records are merged back deterministically by instance
+name, so a parallel run produces the same record list as a serial one up
+to the measured ``runtime`` fields.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.baseline import dag_het_mem
 from repro.core.heuristic import DagHetPartConfig, dag_het_part
@@ -18,6 +24,9 @@ from repro.platform.cluster import Cluster
 from repro.utils.errors import NoFeasibleMappingError, ReproError
 
 ALGORITHMS = ("DagHetMem", "DagHetPart")
+
+#: environment default for ``run_corpus(parallel=None)``; 0 = serial
+PARALLEL_ENV = "REPRO_PARALLEL"
 
 
 @dataclass(frozen=True)
@@ -80,12 +89,47 @@ def run_instance(inst: Instance, cluster: Cluster,
     return records
 
 
+def _worker(payload: Tuple) -> Tuple[int, str, List[RunRecord]]:
+    """Top-level worker (must be picklable): one instance, all algorithms."""
+    index, inst, cluster, config, algorithms, validate = payload
+    return index, inst.name, run_instance(
+        inst, cluster, config=config, algorithms=algorithms, validate=validate)
+
+
+def resolve_parallel(parallel: Optional[int]) -> int:
+    """Normalize the ``parallel`` knob to a worker count (0/1 = serial).
+
+    ``None`` reads :data:`PARALLEL_ENV`; negative values mean "all
+    available CPUs".
+    """
+    if parallel is None:
+        try:
+            parallel = int(os.environ.get(PARALLEL_ENV, "0"))
+        except ValueError:
+            parallel = 0
+    if parallel < 0:
+        parallel = os.cpu_count() or 1
+    return parallel
+
+
 def run_corpus(instances: Sequence[Instance], cluster: Cluster,
                config: Optional[DagHetPartConfig] = None,
                algorithms: Sequence[str] = ALGORITHMS,
                validate: bool = False,
-               progress: Optional[Callable[[str], None]] = None) -> List[RunRecord]:
-    """Run all instances; returns the flat record list."""
+               progress: Optional[Callable[[str], None]] = None,
+               parallel: Optional[int] = None) -> List[RunRecord]:
+    """Run all instances; returns the flat record list.
+
+    ``parallel`` > 1 distributes instances over that many worker
+    processes (``None`` consults the ``REPRO_PARALLEL`` environment
+    variable, ``-1`` uses every CPU). Records are merged deterministically
+    by instance name into the input instance order, so apart from the
+    measured ``runtime`` fields the output is identical to a serial run.
+    """
+    workers = resolve_parallel(parallel)
+    if workers > 1 and len(instances) > 1:
+        return _run_corpus_parallel(instances, cluster, config, algorithms,
+                                    validate, progress, workers)
     records: List[RunRecord] = []
     for inst in instances:
         if progress is not None:
@@ -93,3 +137,32 @@ def run_corpus(instances: Sequence[Instance], cluster: Cluster,
         records.extend(run_instance(inst, cluster, config=config,
                                     algorithms=algorithms, validate=validate))
     return records
+
+
+def _run_corpus_parallel(instances: Sequence[Instance], cluster: Cluster,
+                         config: Optional[DagHetPartConfig],
+                         algorithms: Sequence[str], validate: bool,
+                         progress: Optional[Callable[[str], None]],
+                         workers: int) -> List[RunRecord]:
+    import multiprocessing
+
+    workers = min(workers, len(instances))
+    payloads = [(i, inst, cluster, config, tuple(algorithms), validate)
+                for i, inst in enumerate(instances)]
+    # fork shares the already-built corpus with the workers; fall back to
+    # the default start method where fork is unavailable
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    by_key = {}
+    with ctx.Pool(processes=workers) as pool:
+        for index, name, records in pool.imap_unordered(_worker, payloads):
+            if progress is not None:
+                progress(f"finished {name} on {cluster.name} "
+                         f"({len(by_key) + 1}/{len(instances)})")
+            by_key[(index, name)] = records
+    merged: List[RunRecord] = []
+    for key in sorted(by_key):
+        merged.extend(by_key[key])
+    return merged

@@ -50,6 +50,31 @@ class TestKPrimeCandidates:
         with pytest.raises(ValueError):
             _k_prime_candidates(8, cfg)
 
+    @pytest.mark.parametrize("strategy", ["all", "doubling", "auto"])
+    def test_k_equals_one(self, strategy):
+        cfg = DagHetPartConfig(k_prime_strategy=strategy)
+        assert _k_prime_candidates(1, cfg) == [1]
+
+    def test_explicit_values_partially_out_of_range(self):
+        # below 1 and above k are dropped; survivors are sorted, deduped
+        cfg = DagHetPartConfig(k_prime_values=(0, -3, 5, 5, 3, 12, 99))
+        assert _k_prime_candidates(8, cfg) == [3, 5]
+
+    def test_explicit_values_override_strategy(self):
+        cfg = DagHetPartConfig(k_prime_strategy="all", k_prime_values=(7,))
+        assert _k_prime_candidates(8, cfg) == [7]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 36, 60, 64])
+    def test_doubling_always_ends_exactly_at_k(self, k):
+        cfg = DagHetPartConfig(k_prime_strategy="doubling")
+        values = _k_prime_candidates(k, cfg)
+        assert values[0] == 1
+        assert values[-1] == k
+        assert values == sorted(set(values))  # strictly increasing, no dupes
+        # every element but the last is a power of two below k
+        for v in values[:-1]:
+            assert v < k and (v & (v - 1)) == 0
+
 
 class TestEndToEnd:
     @pytest.mark.parametrize("family", WORKFLOW_FAMILIES)

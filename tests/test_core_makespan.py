@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.core.makespan import bottom_weights, critical_path, makespan
+from repro.core.makespan import bottom_weights, critical_path, link_rule, makespan
 from repro.core.quotient import QuotientGraph
+from repro.platform.bandwidth import LinkBandwidth
 from repro.platform.cluster import Cluster
 from repro.platform.processor import Processor
 from repro.utils.errors import CyclicWorkflowError
+from repro.workflow.graph import Workflow
 
 
 class TestFig1GoldenExample:
@@ -101,3 +103,88 @@ class TestMakespanProperties:
         q = QuotientGraph.from_partition(fork_workflow, blocks)
         # l(root) = 1 + max_i (1 + w_leaf_i) = 1 + 1 + 6
         assert makespan(q, unit_cluster) == pytest.approx(8.0)
+
+
+class TestCriticalPathReconstruction:
+    """Regressions for the argmax-child path walk.
+
+    The seed re-matched ``l[current] - own`` against each child within a
+    float tolerance and silently ``break``-ed when nothing matched, so a
+    vertex whose own time dwarfs its edge terms truncated the path; it
+    also priced edges with ``cluster.link_bandwidth`` regardless of the
+    uniform-β shortcut :func:`bottom_weights` uses.
+    """
+
+    def test_huge_own_time_does_not_truncate(self):
+        # own(a) = 1e16 absorbs the child term in floating point:
+        # (own + best) - own == 0.0, which no child ever matched
+        wf = Workflow("huge")
+        wf.add_task("a", work=1e16, memory=1.0)
+        wf.add_task("b", work=1.0, memory=1.0)
+        wf.add_task("c", work=1.0, memory=1.0)
+        wf.add_edge("a", "b", 1.0)
+        wf.add_edge("b", "c", 1.0)
+        procs = [Processor(f"p{i}", 1.0, 10.0) for i in range(3)]
+        cluster = Cluster(procs)
+        q = QuotientGraph.from_partition(wf, [{"a"}, {"b"}, {"c"}], procs)
+        path = critical_path(q, cluster)
+        assert len(path) == 3  # reaches the sink
+        assert not q.succ[path[-1]]
+
+    def test_large_values_pick_the_argmax_child_not_a_near_match(self):
+        # with l ~ 1e12 the seed's relative tolerance admitted children
+        # thousands of units away from the max; the walk must take the
+        # argmax child exactly
+        wf = Workflow("near-miss")
+        wf.add_task("root", work=1e12, memory=1.0)
+        wf.add_task("best", work=2000.0, memory=1.0)
+        wf.add_task("near", work=1500.0, memory=1.0)
+        wf.add_edge("root", "near", 1.0)  # adjacency order lists "near" first
+        wf.add_edge("root", "best", 1.0)
+        procs = [Processor(f"p{i}", 1.0, 10.0) for i in range(3)]
+        cluster = Cluster(procs)
+        q = QuotientGraph.from_partition(
+            wf, [{"root"}, {"best"}, {"near"}], procs)
+        path = critical_path(q, cluster)
+        assert q.blocks[path[1]].tasks == {"best"}
+
+    def test_heterogeneous_links_with_unassigned_endpoint(self):
+        """Weights and path must share one edge-cost rule (Sec. 3.3)."""
+        wf = Workflow("hetlinks")
+        for name, work in [("a", 4.0), ("b", 1.0), ("c", 2.0)]:
+            wf.add_task(name, work=work, memory=1.0)
+        wf.add_edge("a", "b", 6.0)
+        wf.add_edge("a", "c", 6.0)
+        pa, pb = Processor("pa", 1.0, 10.0), Processor("pb", 1.0, 10.0)
+        model = LinkBandwidth({("pa", "pb"): 3.0}, default_beta=1.0)
+        cluster = Cluster([pa, pb], bandwidth_model=model)
+        # c unassigned: its link falls back to the model's default (1.0),
+        # so the path must go through c (6/1 + 2 > 6/3 + 1)
+        q = QuotientGraph.from_partition(wf, [{"a"}, {"b"}, {"c"}],
+                                         [pa, pb, None])
+        l = bottom_weights(q, cluster)
+        path = critical_path(q, cluster)
+        a, b, c = list(q.blocks)
+        assert l[a] == pytest.approx(4.0 + 6.0 / 1.0 + 2.0)
+        assert path == [a, c]
+        # the start vertex is the bottom-weight argmax, the walk follows
+        # the same link rule bottom_weights used
+        assert l[path[0]] == max(l.values())
+
+    def test_path_realizes_the_makespan_on_every_step(self):
+        """Invariant: l decreases along the path exactly by own + edge."""
+        from repro.generators.families import generate_workflow
+        from repro.partition.api import acyclic_partition
+        wf = generate_workflow("genome", 60, seed=4)
+        partition = acyclic_partition(wf, 6)
+        procs = [Processor(f"p{i}", 1.0 + i, 1e9) for i in range(6)]
+        cluster = Cluster(procs)
+        q = QuotientGraph.from_partition(wf, partition, procs)
+        l = bottom_weights(q, cluster)
+        link_of = link_rule(cluster)
+        path = critical_path(q, cluster)
+        assert not q.succ[path[-1]]
+        for u, v in zip(path, path[1:]):
+            own = q.blocks[u].work / q.blocks[u].proc.speed
+            edge = q.succ[u][v] / link_of(q.blocks[u].proc, q.blocks[v].proc)
+            assert l[u] == pytest.approx(own + edge + l[v])

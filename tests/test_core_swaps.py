@@ -126,3 +126,103 @@ class TestIdleMoves:
         moves = move_critical_to_idle(q, cluster, cache)
         # both blocks can move once each, at most
         assert moves <= 2
+
+    def test_freed_processor_is_reused(self):
+        """A processor vacated by a move must rejoin the idle pool.
+
+        Chain h->m->l: h starts on a mid-speed processor and jumps to the
+        fast idle one; the vacated mid processor must then be available
+        for the slower critical block.
+        """
+        wf = Workflow()
+        wf.add_task("h", work=100.0, memory=1.0)
+        wf.add_task("m", work=100.0, memory=1.0)
+        wf.add_task("l", work=1.0, memory=1.0)
+        wf.add_edge("h", "m", 0.01)
+        wf.add_edge("m", "l", 0.01)
+        slow = Processor("slow", 1.0, 100.0)
+        mid = Processor("mid", 2.0, 100.0)
+        tiny = Processor("tiny", 1.5, 100.0)
+        fast = Processor("fast", 10.0, 100.0)
+        cluster = Cluster([slow, mid, tiny, fast])
+        q = QuotientGraph.from_partition(
+            wf, [{"h"}, {"m"}, {"l"}], [mid, slow, tiny])
+        cache = RequirementCache(wf)
+        moves = move_critical_to_idle(q, cluster, cache)
+        used = q.used_processors()
+        assert moves >= 2
+        assert "fast" in used
+        # "m" (was on slow, speed 1) picked up the vacated mid (speed 2)
+        assert q.blocks[q.block_of("m")].proc.name == "mid"
+
+    def test_idle_moves_with_evaluator_match_full_recompute(self):
+        from repro.core.evaluator import MakespanEvaluator
+        wf = _two_block_wf()
+        slow = Processor("slow", 1.0, 100.0)
+        slower = Processor("slower", 0.5, 100.0)
+        fast_idle = Processor("fast", 10.0, 100.0)
+        cluster = Cluster([slow, slower, fast_idle])
+
+        def build():
+            return QuotientGraph.from_partition(
+                wf, [{"h1", "h2"}, {"l1"}], [slow, slower])
+
+        cache = RequirementCache(wf)
+        q1, q2 = build(), build()
+        n1 = move_critical_to_idle(q1, cluster, cache)
+        n2 = move_critical_to_idle(q2, cluster, cache,
+                                   evaluator=MakespanEvaluator(q2, cluster))
+        assert n1 == n2
+        assert makespan(q1, cluster) == makespan(q2, cluster)
+        assert {b.proc.name for b in q1.blocks.values()} == \
+               {b.proc.name for b in q2.blocks.values()}
+
+
+class TestSwapIdentity:
+    def test_same_processor_object_is_skipped(self):
+        """Two blocks on the *same* processor are never swap partners."""
+        wf = _two_block_wf()
+        p = Processor("p", 1.0, 100.0)
+        cluster = Cluster([p])
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [p, p])
+        cache = RequirementCache(wf)
+        assert improve_by_swaps(q, cluster, cache) == 0
+
+    def test_distinct_objects_with_equal_names_still_swap(self):
+        """Identity, not name equality, decides whether a swap is a no-op.
+
+        Blocks can carry processor objects from different cluster
+        generations (e.g. before/after memory rescaling) whose names
+        collide; an improving swap between them must not be skipped.
+        """
+        wf = _two_block_wf()
+        slow = Processor("p", 1.0, 100.0)
+        fast = Processor("p", 10.0, 100.0)  # same name, different machine
+        cluster = Cluster([Processor("q0", 1.0, 100.0)])  # only for beta
+        q = QuotientGraph.from_partition(wf, [{"h1", "h2"}, {"l1"}], [slow, fast])
+        cache = RequirementCache(wf)
+        before = makespan(q, cluster)
+        assert improve_by_swaps(q, cluster, cache) == 1
+        assert makespan(q, cluster) < before
+        assert q.blocks[q.block_of("h1")].proc is fast
+
+    def test_requirement_cache_tolerates_new_block_ids(self):
+        """Requirements are (re)computed lazily per round, so ids created
+        after the first call (merges between searches) are priced too."""
+        wf = Workflow()
+        for name in "abcd":
+            wf.add_task(name, work=10.0 if name in "ab" else 1.0, memory=1.0)
+        wf.add_edge("a", "b", 1.0)
+        wf.add_edge("b", "c", 1.0)
+        wf.add_edge("c", "d", 1.0)
+        slow = Processor("slow", 1.0, 100.0)
+        fast = Processor("fast", 10.0, 100.0)
+        p3 = Processor("p3", 1.0, 100.0)
+        cluster = Cluster([slow, fast, p3])
+        q = QuotientGraph.from_partition(
+            wf, [{"a"}, {"b"}, {"c"}, {"d"}], [slow, None, fast, p3])
+        cache = RequirementCache(wf)
+        merged, _ = q.merge(q.block_of("a"), q.block_of("b"))
+        q.set_proc(merged, slow)  # heavy merged block on the slow proc
+        assert improve_by_swaps(q, cluster, cache) >= 1
+        assert q.blocks[q.block_of("a")].proc.name == "fast"

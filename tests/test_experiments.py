@@ -105,6 +105,49 @@ class TestRunner:
         assert len(messages) == 1
 
 
+class TestParallelRunner:
+    def _corpus(self):
+        return synthetic_instances(sizes={"small": (24, 32)},
+                                   families=("blast", "bwa"))
+
+    @staticmethod
+    def _strip_runtime(records):
+        from dataclasses import asdict
+        return [{k: v for k, v in asdict(r).items() if k != "runtime"}
+                for r in records]
+
+    def test_parallel_records_match_serial(self):
+        corpus = self._corpus()
+        serial = run_corpus(corpus, default_cluster(), config=FAST_CFG)
+        par = run_corpus(corpus, default_cluster(), config=FAST_CFG, parallel=2)
+        assert self._strip_runtime(par) == self._strip_runtime(serial)
+
+    def test_parallel_progress_and_all_cpus(self):
+        corpus = self._corpus()
+        messages = []
+        records = run_corpus(corpus, default_cluster(), config=FAST_CFG,
+                             parallel=-1, progress=messages.append)
+        assert len(records) == 2 * len(corpus)
+        assert len(messages) == len(corpus)
+
+    def test_parallel_env_default(self, monkeypatch):
+        from repro.experiments.runner import resolve_parallel
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert resolve_parallel(None) == 3
+        assert resolve_parallel(2) == 2
+        monkeypatch.setenv("REPRO_PARALLEL", "junk")
+        assert resolve_parallel(None) == 0
+        monkeypatch.delenv("REPRO_PARALLEL")
+        assert resolve_parallel(None) == 0
+        assert resolve_parallel(-1) >= 1
+
+    def test_parallel_one_is_serial(self):
+        corpus = self._corpus()[:1]
+        records = run_corpus(corpus, default_cluster(), config=FAST_CFG,
+                             parallel=8)  # single instance: stays in-process
+        assert len(records) == 2
+
+
 class TestMetrics:
     def _fake_records(self):
         mk = lambda inst, alg, ms, ok=True: RunRecord(
