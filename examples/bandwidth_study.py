@@ -5,28 +5,49 @@ across interconnect bandwidths — the Fig. 7 experiment on two concrete
 workflows. Fanned-out workflows cut many files when parallelized, so their
 mappings improve sharply with bandwidth; chain-like ones barely react.
 
+The whole grid (family x beta x algorithm) is expressed as one request
+list and executed by ``repro.api.solve_batch`` — the same façade the
+experiment harness uses for corpus sweeps.
+
 Run:  python examples/bandwidth_study.py
+(set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
 """
 
-from repro import DagHetPartConfig, dag_het_mem, dag_het_part
-from repro.experiments.instances import scaled_cluster_for
+import os
+
+from repro import DagHetPartConfig
+from repro.api import ScheduleRequest, solve_batch
 from repro.generators.families import generate_workflow
 from repro.platform.presets import default_cluster
 
+SCALE = int(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
 BETAS = (0.1, 0.5, 1.0, 2.0, 5.0)
 
 
 def main() -> None:
-    print(f"{'family':>12s} {'beta':>6s} {'relative_makespan':>18s}")
+    requests = []
     for family in ("bwa", "soykb"):
-        wf = generate_workflow(family, 300, seed=5)
+        wf = generate_workflow(family, max(16, 300 // SCALE), seed=5)
+        for beta in BETAS:
+            for algorithm in ("daghetmem", "daghetpart"):
+                requests.append(ScheduleRequest(
+                    workflow=wf, cluster=default_cluster(bandwidth=beta),
+                    algorithm=algorithm, config=CONFIG, scale_memory=True,
+                    tags={"family": family, "beta": beta}))
+    results = solve_batch(requests)  # add parallel=N to fan out
+    for result in results:
+        result.raise_if_failed()
+
+    print(f"{'family':>12s} {'beta':>6s} {'relative_makespan':>18s}")
+    by_key = {(r.tags["family"], r.tags["beta"], r.algorithm): r
+              for r in results}
+    for family in ("bwa", "soykb"):
         series = []
         for beta in BETAS:
-            cluster = scaled_cluster_for(wf, default_cluster(bandwidth=beta))
-            base = dag_het_mem(wf, cluster)
-            part = dag_het_part(wf, cluster, CONFIG)
-            rel = 100.0 * part.makespan() / base.makespan()
+            base = by_key[(family, beta, "DagHetMem")]
+            part = by_key[(family, beta, "DagHetPart")]
+            rel = 100.0 * part.makespan / base.makespan
             series.append(rel)
             print(f"{family:>12s} {beta:6.1f} {rel:17.1f}%")
         swing = max(series) - min(series)

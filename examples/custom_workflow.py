@@ -8,7 +8,8 @@ including each block's memory-optimal traversal order.
 Run:  python examples/custom_workflow.py
 """
 
-from repro import Cluster, DagHetPartConfig, Processor, Workflow, schedule
+from repro import Cluster, DagHetPartConfig, Processor, Workflow
+from repro.api import ScheduleRequest, solve
 from repro.workflow.io import workflow_from_dot
 from repro.workflow.validation import validate_workflow
 
@@ -46,12 +47,15 @@ def main() -> None:
         Processor("fast-b", speed=24.0, memory=40.0),
     ], bandwidth=2.0, name="edge-rack")
 
-    # 3. Schedule with the full k' sweep (tiny cluster, so it is cheap).
-    mapping = schedule(wf, cluster, "daghetpart",
-                       config=DagHetPartConfig(k_prime_strategy="all"))
-    mapping.validate()
-    print(f"makespan: {mapping.makespan():.2f} time units over "
-          f"{mapping.n_blocks} blocks\n")
+    # 3. Schedule with the full k' sweep (tiny cluster, so it is cheap);
+    #    validate=True re-checks memory, injectivity, and acyclicity.
+    result = solve(ScheduleRequest(
+        workflow=wf, cluster=cluster, algorithm="daghetpart",
+        config=DagHetPartConfig(k_prime_strategy="all"), validate=True))
+    result.raise_if_failed()
+    mapping = result.mapping
+    print(f"makespan: {result.makespan:.2f} time units over "
+          f"{result.n_blocks} blocks (winning k'={result.k_prime})\n")
 
     # 4. Print the executable schedule: per block, the traversal order that
     #    realizes the block's memory requirement.

@@ -5,36 +5,47 @@ whether upgrading from the small (18-node) to the default (36) or large
 (60) cluster is worth it, and how sensitive the answer is to workflow size.
 This reproduces the reasoning behind Fig. 3 (right) on a concrete scenario.
 
+Scheduling goes through ``repro.api.solve``: infeasible platforms come
+back as structured failures on the result (no try/except needed), and the
+winning ``k'`` shows how aggressively DagHetPart partitioned.
+
 Run:  python examples/genomics_cluster_planning.py
+(set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
 """
 
-from repro import DagHetPartConfig, dag_het_mem, dag_het_part
-from repro.experiments.instances import scaled_cluster_for
+import os
+
+from repro import DagHetPartConfig
+from repro.api import ScheduleRequest, solve
 from repro.generators.families import generate_workflow
 from repro.platform.presets import default_cluster, large_cluster, small_cluster
 
+SCALE = int(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
 
 
 def main() -> None:
     print(f"{'workflow':>14s} {'cluster':>12s} {'baseline':>10s} "
-          f"{'daghetpart':>10s} {'speedup':>8s} {'blocks':>6s}")
+          f"{'daghetpart':>10s} {'speedup':>8s} {'blocks':>6s} {'k-prime':>7s}")
     for n_tasks in (100, 400, 800):
-        wf = generate_workflow("genome", n_tasks, seed=11)
+        wf = generate_workflow("genome", max(16, n_tasks // SCALE), seed=11)
         for cluster_factory in (small_cluster, default_cluster, large_cluster):
-            cluster = scaled_cluster_for(wf, cluster_factory())
-            try:
-                base = dag_het_mem(wf, cluster)
-                part = dag_het_part(wf, cluster, CONFIG)
-            except Exception as exc:  # platform too small
+            cluster = cluster_factory()
+            base = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                         algorithm="daghetmem",
+                                         scale_memory=True))
+            part = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                         algorithm="daghetpart", config=CONFIG,
+                                         scale_memory=True, validate=True))
+            failed = base.failure or part.failure
+            if failed is not None:  # platform too small
                 print(f"{wf.name:>14s} {cluster.name:>12s} "
-                      f"-- no feasible mapping ({type(exc).__name__})")
+                      f"-- no feasible mapping ({failed.kind})")
                 continue
-            part.validate()
-            speedup = base.makespan() / part.makespan()
+            speedup = base.makespan / part.makespan
             print(f"{wf.name:>14s} {cluster.name:>12s} "
-                  f"{base.makespan():10.1f} {part.makespan():10.1f} "
-                  f"{speedup:7.2f}x {part.n_blocks:6d}")
+                  f"{base.makespan:10.1f} {part.makespan:10.1f} "
+                  f"{speedup:7.2f}x {part.n_blocks:6d} {part.k_prime:7d}")
     print("\nReading: the speedup of heterogeneity-aware mapping grows with "
           "both workflow size and cluster size (Fig. 3 of the paper).")
 

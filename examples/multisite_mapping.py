@@ -4,16 +4,22 @@ The paper closes with: "we plan ... to add one more level of heterogeneity
 by considering different communication bandwidths." This example exercises
 that extension: the default 36-node cluster is split into two sites with a
 fast intra-site interconnect and a slow WAN between them, and we compare
-the resulting mappings against the uniform-bandwidth model.
+the resulting mappings against the uniform-bandwidth model — both obtained
+through ``repro.api.solve``.
 
 Run:  python examples/multisite_mapping.py
+(set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
 """
 
-from repro import DagHetPartConfig, dag_het_part, default_cluster
+import os
+
+from repro import DagHetPartConfig, default_cluster
+from repro.api import ScheduleRequest, solve
 from repro.experiments.instances import scaled_cluster_for
 from repro.generators.families import generate_workflow
 from repro.platform.bandwidth import GroupedBandwidth
 
+SCALE = int(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
 
 
@@ -34,7 +40,7 @@ def site_of(mapping, cluster, model):
 
 
 def main() -> None:
-    wf = generate_workflow("genome", 300, seed=17)
+    wf = generate_workflow("genome", max(16, 300 // SCALE), seed=17)
     base = scaled_cluster_for(wf, default_cluster())
 
     # split the cluster into two sites, half the nodes each
@@ -44,18 +50,20 @@ def main() -> None:
     model = GroupedBandwidth(groups, intra_beta=2.0, inter_beta=0.2)
     multisite = base.with_bandwidth_model(model)
 
-    uniform_map = dag_het_part(wf, base, CONFIG)
-    multisite_map = dag_het_part(wf, multisite, CONFIG)
-    for m in (uniform_map, multisite_map):
-        m.validate()
+    uniform = solve(ScheduleRequest(workflow=wf, cluster=base,
+                                    algorithm="daghetpart", config=CONFIG,
+                                    validate=True)).raise_if_failed()
+    split = solve(ScheduleRequest(workflow=wf, cluster=multisite,
+                                  algorithm="daghetpart", config=CONFIG,
+                                  validate=True)).raise_if_failed()
 
     print(f"workflow: {wf.name} ({wf.n_tasks} tasks)")
-    print(f"\nuniform bandwidth (beta=1):    makespan={uniform_map.makespan():9.1f}  "
-          f"blocks={uniform_map.n_blocks}")
-    print(f"two sites (2.0 intra/0.2 WAN): makespan={multisite_map.makespan():9.1f}  "
-          f"blocks={multisite_map.n_blocks}")
+    print(f"\nuniform bandwidth (beta=1):    makespan={uniform.makespan:9.1f}  "
+          f"blocks={uniform.n_blocks}")
+    print(f"two sites (2.0 intra/0.2 WAN): makespan={split.makespan:9.1f}  "
+          f"blocks={split.n_blocks}")
 
-    intra, cross = site_of(multisite_map, multisite, model)
+    intra, cross = site_of(split.mapping, multisite, model)
     print(f"\ncommunication of the multi-site mapping: "
           f"{intra:.0f} units intra-site, {cross:.0f} units over the WAN")
     print("The makespan model charges WAN edges at 10x the intra cost, so "

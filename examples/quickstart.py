@@ -1,51 +1,63 @@
 """Quickstart: schedule a workflow on the paper's default cluster.
 
-Generates a 200-task BLAST-like workflow, maps it with both algorithms
-(DagHetMem baseline and the four-step DagHetPart heuristic) and prints the
-resulting makespans, block structure, and the improvement factor.
+Generates a 200-task BLAST-like workflow and maps it through the public
+API (``repro.api.solve``) with both algorithms — the DagHetMem baseline
+and the four-step DagHetPart heuristic — then prints the makespans, the
+winning ``k'`` with its sweep trace, and the block placement.
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
 """
 
-from repro import (
-    DagHetPartConfig,
-    default_cluster,
-    generate_workflow,
-    schedule,
-)
-from repro.experiments.instances import scaled_cluster_for
+import os
+
+from repro import DagHetPartConfig, default_cluster, generate_workflow
+from repro.api import ScheduleRequest, solve
 from repro.workflow.analysis import workflow_statistics
+
+#: divisor for task counts; CI's examples smoke job sets this to 10
+SCALE = int(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 
 
 def main() -> None:
     # 1. A workflow: 200-task BLAST (fan-out heavy), paper weight model.
-    wf = generate_workflow("blast", n_tasks=200, seed=7)
+    wf = generate_workflow("blast", n_tasks=max(16, 200 // SCALE), seed=7)
     stats = workflow_statistics(wf)
     print(f"workflow: {stats.name}  tasks={stats.n_tasks}  edges={stats.n_edges}  "
           f"width={stats.width:.0f}  total_work={stats.total_work:.0f}")
 
-    # 2. The platform: Table 2's 36-node cluster; memories scaled so the
-    #    biggest task fits somewhere (the paper's rule for synthetic runs).
-    cluster = scaled_cluster_for(wf, default_cluster())
-    print(f"cluster:  {cluster.name}  k={cluster.k}  beta={cluster.bandwidth:g}")
+    # 2. The platform: Table 2's 36-node cluster. scale_memory=True applies
+    #    the paper's rule so the biggest task fits somewhere.
+    cluster = default_cluster()
 
-    # 3. Map with the baseline and with DagHetPart.
-    baseline = schedule(wf, cluster, algorithm="daghetmem")
-    heuristic = schedule(wf, cluster, algorithm="daghetpart",
-                         config=DagHetPartConfig(k_prime_strategy="doubling"))
-    for mapping in (baseline, heuristic):
-        mapping.validate()  # re-checks memory, injectivity, acyclicity
+    # 3. One ScheduleRequest per algorithm; solve() times the run, captures
+    #    failures structurally, and reports the k' sweep.
+    config = DagHetPartConfig(k_prime_strategy="doubling")
+    baseline = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                     algorithm="daghetmem",
+                                     scale_memory=True, validate=True))
+    heuristic = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                      algorithm="daghetpart", config=config,
+                                      scale_memory=True, validate=True))
+    print(f"cluster:  {heuristic.cluster}  k={cluster.k}  "
+          f"beta={heuristic.bandwidth:g}")
 
-    print(f"\nDagHetMem : makespan={baseline.makespan():10.1f}  "
-          f"blocks={baseline.n_blocks}")
-    print(f"DagHetPart: makespan={heuristic.makespan():10.1f}  "
-          f"blocks={heuristic.n_blocks}")
+    for result in (baseline, heuristic):
+        assert result.success, result.failure
+        print(f"\n{result.algorithm:10s}: makespan={result.makespan:10.1f}  "
+              f"blocks={result.n_blocks}  runtime={result.runtime:.2f}s")
     print(f"improvement factor: "
-          f"{baseline.makespan() / heuristic.makespan():.2f}x")
+          f"{baseline.makespan / heuristic.makespan:.2f}x")
 
-    # 4. Where did the blocks go?
+    # 4. The k' sweep behind DagHetPart's answer (Step 1 of Section 4.2).
+    print(f"\nwinning k' = {heuristic.k_prime}; sweep trace:")
+    for point in heuristic.sweep:
+        ms = f"{point.makespan:12.1f}" if point.makespan is not None else " " * 12
+        print(f"  k'={point.k_prime:3d}  {ms}  [{point.status}]")
+
+    # 5. Where did the blocks go? The live Mapping rides on the result.
     print("\nDagHetPart block placement (top 8 by work):")
-    blocks = sorted(heuristic.assignments,
+    blocks = sorted(heuristic.mapping.assignments,
                     key=lambda a: -sum(wf.work(u) for u in a.tasks))
     for a in blocks[:8]:
         work = sum(wf.work(u) for u in a.tasks)

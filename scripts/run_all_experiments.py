@@ -5,8 +5,10 @@ table/figure from the shared records (instead of re-running corpora per
 figure). Writes ``experiments_results.json`` and a plain-text report.
 
 Environment: REPRO_SCALE / REPRO_FULL control workflow sizes as usual;
-``--parallel N`` (or REPRO_PARALLEL) fans instances out over N worker
-processes per corpus run.
+``--parallel N`` (or REPRO_PARALLEL) fans requests out over N worker
+processes per corpus run. Scheduling goes through ``repro.api.solve_batch``;
+the dumped ``results`` section holds the full ScheduleResult envelopes
+(sweep traces, winning k', structured failure reasons).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import sys
 import time
 from dataclasses import asdict
 
+from repro.api import solve_batch
 from repro.core.heuristic import DagHetPartConfig
 from repro.experiments.instances import build_corpus, synthetic_sizes
 from repro.experiments.metrics import (
@@ -25,7 +28,7 @@ from repro.experiments.metrics import (
     relative_makespan_by,
     success_counts,
 )
-from repro.experiments.runner import run_corpus
+from repro.experiments.runner import corpus_requests, record_from_result
 from repro.platform.presets import (
     default_cluster,
     large_cluster,
@@ -44,11 +47,13 @@ def log(msg: str) -> None:
 
 
 def run(cluster, corpus, label, parallel=None):
+    """One corpus sweep through the repro.api batch façade."""
     log(f"running corpus on {label} ({len(corpus)} instances)")
     start = time.time()
-    records = run_corpus(corpus, cluster, config=CONFIG, parallel=parallel)
+    requests = corpus_requests(corpus, cluster, config=CONFIG)
+    results = solve_batch(requests, parallel=parallel)
     log(f"  done in {time.time() - start:.0f}s")
-    return records
+    return results
 
 
 def main() -> None:
@@ -62,17 +67,22 @@ def main() -> None:
     corpus = build_corpus(seed=SEED, sizes=sizes)
     corpus_4x = build_corpus(seed=SEED, sizes=sizes, work_factor=4.0)
 
-    record_sets = {}
     j = args.parallel
-    record_sets["default"] = run(default_cluster(), corpus, "default-36", j)
-    record_sets["small"] = run(small_cluster(), corpus, "small-18", j)
-    record_sets["large"] = run(large_cluster(), corpus, "large-60", j)
-    record_sets["nohet"] = run(nohet_cluster(), corpus, "nohet", j)
-    record_sets["lesshet"] = run(lesshet_cluster(), corpus, "lesshet", j)
-    record_sets["morehet"] = run(morehet_cluster(), corpus, "morehet", j)
-    record_sets["beta0.1"] = run(default_cluster(bandwidth=0.1), corpus, "beta=0.1", j)
-    record_sets["beta5"] = run(default_cluster(bandwidth=5.0), corpus, "beta=5", j)
-    record_sets["demand4x"] = run(default_cluster(), corpus_4x, "4x demand", j)
+    plan = {
+        "default": (default_cluster(), corpus, "default-36"),
+        "small": (small_cluster(), corpus, "small-18"),
+        "large": (large_cluster(), corpus, "large-60"),
+        "nohet": (nohet_cluster(), corpus, "nohet"),
+        "lesshet": (lesshet_cluster(), corpus, "lesshet"),
+        "morehet": (morehet_cluster(), corpus, "morehet"),
+        "beta0.1": (default_cluster(bandwidth=0.1), corpus, "beta=0.1"),
+        "beta5": (default_cluster(bandwidth=5.0), corpus, "beta=5"),
+        "demand4x": (default_cluster(), corpus_4x, "4x demand"),
+    }
+    result_sets = {key: run(cluster, corp, label, j)
+                   for key, (cluster, corp, label) in plan.items()}
+    record_sets = {key: [record_from_result(r) for r in results]
+                   for key, results in result_sets.items()}
 
     out = {"sizes": sizes, "figures": {}}
 
@@ -152,8 +162,23 @@ def main() -> None:
         "4x": rel_by_cat(record_sets["demand4x"]),
     }
 
+    # Failure audit: why any run failed, per cluster configuration
+    out["figures"]["failures"] = {
+        key: sorted(f"{r.instance}/{r.algorithm}: {r.failure_reason}"
+                    for r in records if not r.success)
+        for key, records in record_sets.items()
+        if any(not r.success for r in records)
+    }
+
     out["records"] = {
         key: [asdict(r) for r in records] for key, records in record_sets.items()
+    }
+    # the full API envelopes (sweep trace, k', structured failures); each
+    # entry round-trips through repro.api.ScheduleResult.from_dict so the
+    # evaluation can be re-aggregated later without re-scheduling
+    out["results"] = {
+        key: [r.to_dict() for r in results]
+        for key, results in result_sets.items()
     }
 
     with open("experiments_results.json", "w") as fh:

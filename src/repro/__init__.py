@@ -17,8 +17,16 @@ Package layout
 ``repro.memdag``     peak-memory traversal engine (memDag role);
 ``repro.partition``  multilevel acyclic DAG partitioner (dagP role);
 ``repro.core``       DagHetMem baseline + DagHetPart heuristic;
+``repro.api``        the public scheduling surface: algorithm registry,
+                     request/result envelopes, ``solve``/``solve_batch``;
 ``repro.generators`` workflow families and weight models (Section 5.1.1);
 ``repro.experiments`` harness regenerating every table and figure.
+
+New code should schedule through :mod:`repro.api`:
+
+>>> from repro.api import ScheduleRequest, solve
+>>> result = solve(ScheduleRequest(workflow=wf, cluster=cluster))
+>>> result.makespan, result.k_prime, result.failure  # doctest: +SKIP
 """
 
 from repro.workflow import Workflow
@@ -39,6 +47,15 @@ from repro.core import (
     dag_het_mem,
     dag_het_part,
     schedule,
+)
+from repro.api import (
+    FailureInfo,
+    ScheduleRequest,
+    ScheduleResult,
+    available_algorithms,
+    register_algorithm,
+    solve,
+    solve_batch,
 )
 from repro.generators import generate_workflow, WORKFLOW_FAMILIES
 from repro.utils.errors import (
@@ -66,6 +83,13 @@ __all__ = [
     "dag_het_mem",
     "dag_het_part",
     "schedule",
+    "FailureInfo",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "available_algorithms",
+    "register_algorithm",
+    "solve",
+    "solve_batch",
     "generate_workflow",
     "WORKFLOW_FAMILIES",
     "ReproError",

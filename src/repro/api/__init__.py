@@ -1,0 +1,65 @@
+"""repro.api — the public scheduling surface.
+
+One stable entry point for every consumer (CLI, experiment harness,
+examples, future serving layers):
+
+>>> from repro.api import ScheduleRequest, solve
+>>> result = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+...                                algorithm="daghetpart"))
+>>> result.makespan, result.k_prime, result.failure
+
+* :mod:`repro.api.registry` — ``@register_algorithm`` plus name
+  resolution; algorithms declare their name, config dataclass, and
+  capabilities, and every entry point dispatches through it;
+* :mod:`repro.api.envelopes` — frozen ``ScheduleRequest`` /
+  ``ScheduleResult`` envelopes with structured ``FailureInfo`` and JSON
+  round-tripping;
+* :mod:`repro.api.batch` — ``solve(request)`` and
+  ``solve_batch(requests, parallel=N)`` (deterministic parallel merge);
+* :mod:`repro.api.schedulers` — the paper's two built-in algorithms.
+"""
+
+from repro.api.envelopes import (
+    FailureInfo,
+    ScheduleRequest,
+    ScheduleResult,
+    SchedulerOutput,
+)
+from repro.api.registry import (
+    AlgorithmInfo,
+    Scheduler,
+    algorithm_infos,
+    available_algorithms,
+    canonical_name,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.api import schedulers as _builtin_schedulers  # noqa: F401  (registers)
+from repro.api.batch import (
+    PARALLEL_ENV,
+    resolve_parallel,
+    solve,
+    solve_batch,
+)
+from repro.core.heuristic import SweepPoint
+
+__all__ = [
+    "AlgorithmInfo",
+    "FailureInfo",
+    "PARALLEL_ENV",
+    "Scheduler",
+    "SchedulerOutput",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "SweepPoint",
+    "algorithm_infos",
+    "available_algorithms",
+    "canonical_name",
+    "get_algorithm",
+    "register_algorithm",
+    "resolve_parallel",
+    "solve",
+    "solve_batch",
+    "unregister_algorithm",
+]

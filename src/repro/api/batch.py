@@ -1,0 +1,139 @@
+"""``solve`` / ``solve_batch`` — one code path for serial and parallel runs.
+
+:func:`solve` executes one :class:`ScheduleRequest` end to end: registry
+lookup, optional memory scaling, timed algorithm run, failure capture into
+a :class:`FailureInfo`, optional validation, envelope assembly.
+
+:func:`solve_batch` runs many requests, optionally fanned out over worker
+processes; results come back merged deterministically into the input
+order, so apart from the measured ``runtime`` fields a parallel batch is
+identical to a serial one. This is the machinery the corpus runner used to
+carry privately — serial CLI calls and parallel experiment sweeps now go
+through the same façade.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.api.envelopes import FailureInfo, ScheduleRequest, ScheduleResult
+from repro.api.registry import get_algorithm
+from repro.utils.errors import ReproError
+
+#: environment default for ``solve_batch(parallel=None)``; 0 = serial
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: called after each request completes: (index, request, result)
+ProgressHook = Callable[[int, ScheduleRequest, ScheduleResult], None]
+
+
+def solve(request: ScheduleRequest) -> ScheduleResult:
+    """Run one request; failures come back structured, never raised.
+
+    Only algorithm failures (:class:`ReproError` subclasses — the paper's
+    "platform too small" outcomes) are captured into
+    ``ScheduleResult.failure``; programming errors (unknown algorithm
+    name, wrong config type) raise immediately.
+    """
+    info = get_algorithm(request.algorithm)  # raises on unknown names
+
+    cluster = request.cluster
+    if request.scale_memory:
+        # lazy: repro.experiments imports repro.api at package load
+        from repro.experiments.instances import scaled_cluster_for
+        cluster = scaled_cluster_for(request.workflow, cluster)
+
+    failure: Optional[FailureInfo] = None
+    output = None
+    sweep: Tuple = ()
+    start = time.perf_counter()
+    try:
+        output = info.scheduler.run(request.workflow, cluster, request.config)
+    except ReproError as exc:
+        failure = FailureInfo.from_exception(exc)
+        sweep = tuple(getattr(exc, "sweep", ()))
+    runtime = time.perf_counter() - start
+
+    mapping = output.mapping if output is not None else None
+    if mapping is not None and request.validate:
+        mapping.validate()
+
+    return ScheduleResult(
+        algorithm=info.display_name,
+        workflow=request.workflow.name,
+        n_tasks=request.workflow.n_tasks,
+        cluster=cluster.name,
+        bandwidth=cluster.bandwidth,
+        makespan=mapping.makespan() if mapping is not None else float("inf"),
+        runtime=runtime,
+        n_blocks=mapping.n_blocks if mapping is not None else 0,
+        k_prime=output.k_prime if output is not None else None,
+        sweep=tuple(output.sweep) if output is not None else sweep,
+        failure=failure,
+        tags=dict(request.tags),
+        mapping=mapping if request.want_mapping else None,
+    )
+
+
+def resolve_parallel(parallel: Optional[int]) -> int:
+    """Normalize the ``parallel`` knob to a worker count (0/1 = serial).
+
+    ``None`` reads :data:`PARALLEL_ENV`; negative values mean "all
+    available CPUs".
+    """
+    if parallel is None:
+        try:
+            parallel = int(os.environ.get(PARALLEL_ENV, "0"))
+        except ValueError:
+            parallel = 0
+    if parallel < 0:
+        parallel = os.cpu_count() or 1
+    return parallel
+
+
+def _worker(payload: Tuple[int, ScheduleRequest]) -> Tuple[int, ScheduleResult]:
+    """Top-level worker (must be picklable): one request, one result."""
+    index, request = payload
+    return index, solve(request)
+
+
+def solve_batch(requests: Iterable[ScheduleRequest],
+                parallel: Optional[int] = None,
+                progress: Optional[ProgressHook] = None) -> List[ScheduleResult]:
+    """Run every request; results are returned in the input order.
+
+    ``parallel`` > 1 distributes requests over that many worker processes
+    (``None`` consults the ``REPRO_PARALLEL`` environment variable, ``-1``
+    uses every CPU). The fork start method shares the already-built
+    requests — and any custom algorithms registered before the call — with
+    the workers; where fork is unavailable the default start method is
+    used, which requires registrations to happen at import time.
+    ``progress`` is called in the parent once per completed request.
+    """
+    requests = list(requests)
+    workers = min(resolve_parallel(parallel), len(requests))
+    if workers <= 1 or len(requests) <= 1:
+        results: List[ScheduleResult] = []
+        for index, request in enumerate(requests):
+            result = solve(request)
+            results.append(result)
+            if progress is not None:
+                progress(index, request, result)
+        return results
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    by_index: dict = {}
+    with ctx.Pool(processes=workers) as pool:
+        payloads = list(enumerate(requests))
+        for index, result in pool.imap_unordered(_worker, payloads):
+            by_index[index] = result
+            if progress is not None:
+                progress(index, requests[index], result)
+    return [by_index[i] for i in range(len(requests))]

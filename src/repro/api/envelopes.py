@@ -1,0 +1,198 @@
+"""Frozen request/result envelopes of the public scheduling API.
+
+A :class:`ScheduleRequest` says *what* to solve (workflow, cluster,
+algorithm name, config, scaling/validation knobs); a
+:class:`ScheduleResult` says *what happened* — the mapping, makespan,
+wall-clock runtime, the winning ``k'`` with its per-``k'`` sweep trace,
+and a structured :class:`FailureInfo` instead of a swallowed exception.
+
+Results are JSON round-trippable (:meth:`ScheduleResult.to_json` /
+:meth:`ScheduleResult.from_json`) so batch runs can be persisted and
+re-aggregated without re-scheduling. The live :class:`Mapping` object is
+the one field that does not survive serialization (it holds the full
+workflow and cluster); everything the experiment metrics need does.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping as TMapping, Optional, Tuple
+
+from repro.core.heuristic import SweepPoint
+from repro.core.mapping import Mapping
+from repro.platform.cluster import Cluster
+from repro.utils import errors as _errors
+from repro.workflow.graph import Workflow
+
+#: exception classes a FailureInfo can be rehydrated into
+_FAILURE_KINDS = {
+    cls.__name__: cls
+    for cls in (
+        _errors.ReproError,
+        _errors.CyclicWorkflowError,
+        _errors.InvalidPartitionError,
+        _errors.NoFeasibleMappingError,
+        _errors.PartitionSplitError,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Why a run failed: exception kind, message, and unplaced work."""
+
+    kind: str  # exception class name, e.g. "NoFeasibleMappingError"
+    message: str
+    unplaced_tasks: int = 0
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "FailureInfo":
+        return cls(kind=type(exc).__name__, message=str(exc),
+                   unplaced_tasks=int(getattr(exc, "unplaced_tasks", 0)))
+
+    def to_exception(self) -> _errors.ReproError:
+        """Rehydrate the recorded failure as a raisable exception."""
+        if self.kind == "NoFeasibleMappingError":
+            return _errors.NoFeasibleMappingError(
+                self.message, unplaced_tasks=self.unplaced_tasks)
+        if self.kind == "CyclicWorkflowError":
+            return _errors.CyclicWorkflowError(message=self.message)
+        return _FAILURE_KINDS.get(self.kind, _errors.ReproError)(self.message)
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling problem for :func:`repro.api.solve`.
+
+    ``config`` is the algorithm's own config object (``DagHetPartConfig``
+    for the built-in heuristic; algorithms that take no config ignore it).
+    ``scale_memory`` applies the paper's proportional memory scaling so
+    the largest task fits somewhere (the synthetic-corpus rule; off by
+    default for direct API calls). ``want_mapping=False`` drops the live
+    :class:`Mapping` from the result — batch runs over large corpora use
+    this to keep worker→parent transfers small. ``tags`` travel to the
+    result untouched (instance/family metadata, user correlation ids).
+    """
+
+    workflow: Workflow
+    cluster: Cluster
+    algorithm: str = "daghetpart"
+    config: Optional[Any] = None
+    scale_memory: bool = False
+    validate: bool = False
+    want_mapping: bool = True
+    tags: TMapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SchedulerOutput:
+    """What a registered :class:`~repro.api.registry.Scheduler` returns.
+
+    Algorithms without a ``k'`` sweep leave ``k_prime``/``sweep`` at their
+    defaults; the façade fills in timing, failure capture, and envelope
+    metadata around this.
+    """
+
+    mapping: Mapping
+    k_prime: Optional[int] = None
+    sweep: Tuple[SweepPoint, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one solve: envelope around a mapping or a failure."""
+
+    algorithm: str  # display name, e.g. "DagHetPart"
+    workflow: str  # workflow name
+    n_tasks: int
+    cluster: str  # cluster name actually used (after memory scaling)
+    bandwidth: float
+    makespan: float  # inf when the run failed
+    runtime: float  # wall-clock seconds of the scheduling algorithm
+    n_blocks: int  # 0 when the run failed
+    k_prime: Optional[int] = None  # winning k' (sweep algorithms only)
+    sweep: Tuple[SweepPoint, ...] = ()
+    failure: Optional[FailureInfo] = None
+    tags: TMapping[str, Any] = field(default_factory=dict)
+    #: the live mapping; never serialized, None after from_json or when
+    #: the request asked for want_mapping=False
+    mapping: Optional[Mapping] = field(default=None, compare=False, repr=False)
+
+    @property
+    def success(self) -> bool:
+        return self.failure is None
+
+    def raise_if_failed(self) -> "ScheduleResult":
+        """Raise the recorded failure (back-compat with raising APIs)."""
+        if self.failure is not None:
+            raise self.failure.to_exception()
+        return self
+
+    def without_mapping(self) -> "ScheduleResult":
+        """A copy with the live mapping dropped (cheap to pickle/store)."""
+        return replace(self, mapping=None)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict of everything except the live mapping.
+
+        The infinite makespan of a failed run becomes ``null`` so the
+        output is strict RFC 8259 JSON (no ``Infinity`` literal, which
+        jq/JavaScript parsers reject); :meth:`from_dict` restores it.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "workflow": self.workflow,
+            "n_tasks": self.n_tasks,
+            "cluster": self.cluster,
+            "bandwidth": self.bandwidth,
+            "makespan": self.makespan if math.isfinite(self.makespan) else None,
+            "runtime": self.runtime,
+            "n_blocks": self.n_blocks,
+            "k_prime": self.k_prime,
+            "sweep": [{"k_prime": p.k_prime, "makespan": p.makespan,
+                       "status": p.status} for p in self.sweep],
+            "failure": None if self.failure is None else {
+                "kind": self.failure.kind,
+                "message": self.failure.message,
+                "unplaced_tasks": self.failure.unplaced_tasks,
+            },
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "ScheduleResult":
+        failure = data.get("failure")
+        makespan = data["makespan"]
+        return cls(
+            algorithm=data["algorithm"],
+            workflow=data["workflow"],
+            n_tasks=int(data["n_tasks"]),
+            cluster=data["cluster"],
+            bandwidth=float(data["bandwidth"]),
+            makespan=float("inf") if makespan is None else float(makespan),
+            runtime=float(data["runtime"]),
+            n_blocks=int(data["n_blocks"]),
+            k_prime=data.get("k_prime"),
+            sweep=tuple(SweepPoint(p["k_prime"], p["makespan"], p["status"])
+                        for p in data.get("sweep", ())),
+            failure=None if failure is None else FailureInfo(
+                kind=failure["kind"], message=failure["message"],
+                unplaced_tasks=int(failure.get("unplaced_tasks", 0))),
+            tags=dict(data.get("tags", {})),
+        )
+
+    def to_json(self) -> str:
+        """Deterministic strict JSON (sorted keys); inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,52 @@
+"""The paper's two algorithms, registered as pluggable schedulers.
+
+Importing :mod:`repro.api` loads this module, which populates the registry
+with ``daghetmem`` (Section 4.1 baseline) and ``daghetpart`` (Section 4.2
+four-step heuristic). Third-party algorithms register the same way; see
+:func:`repro.api.registry.register_algorithm`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.envelopes import SchedulerOutput
+from repro.api.registry import register_algorithm
+from repro.core.baseline import dag_het_mem
+from repro.core.heuristic import DagHetPartConfig, dag_het_part_sweep
+from repro.platform.cluster import Cluster
+from repro.workflow.graph import Workflow
+
+
+@register_algorithm(
+    "daghetmem", display_name="DagHetMem",
+    capabilities=("baseline", "memory-packing"),
+    summary="memory-optimal traversal packed greedily onto processors by "
+            "decreasing memory (Section 4.1); no makespan optimization")
+class DagHetMemScheduler:
+    """The validity baseline; takes no config."""
+
+    def run(self, workflow: Workflow, cluster: Cluster,
+            config: Optional[object] = None) -> SchedulerOutput:
+        return SchedulerOutput(mapping=dag_het_mem(workflow, cluster))
+
+
+@register_algorithm(
+    "daghetpart", display_name="DagHetPart",
+    config_cls=DagHetPartConfig,
+    capabilities=("makespan-optimizing", "k-prime-sweep", "configurable"),
+    summary="acyclic partition + BiggestAssign + merge-unassigned + swap "
+            "local search over the k' sweep (Section 4.2)")
+class DagHetPartScheduler:
+    """The four-step heuristic; reports the winning ``k'`` and sweep trace."""
+
+    def run(self, workflow: Workflow, cluster: Cluster,
+            config: Optional[DagHetPartConfig] = None) -> SchedulerOutput:
+        if config is not None and not isinstance(config, DagHetPartConfig):
+            raise TypeError(
+                f"daghetpart expects a DagHetPartConfig, got "
+                f"{type(config).__name__}")
+        outcome = dag_het_part_sweep(workflow, cluster, config=config)
+        return SchedulerOutput(mapping=outcome.mapping,
+                               k_prime=outcome.k_prime,
+                               sweep=outcome.sweep)

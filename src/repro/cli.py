@@ -18,14 +18,14 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.heuristic import DagHetPartConfig, schedule as run_schedule
+from repro.api import ScheduleRequest, available_algorithms, solve
+from repro.core.heuristic import DagHetPartConfig
 from repro.experiments import figures
-from repro.experiments.instances import scaled_cluster_for, synthetic_sizes
+from repro.experiments.instances import synthetic_sizes
 from repro.experiments.report import format_table
 from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
 from repro.generators.realworld import REAL_WORKFLOW_NAMES, generate_real_workflow
 from repro.platform.presets import CLUSTER_PRESETS, cluster_by_name
-from repro.utils.errors import NoFeasibleMappingError
 from repro.workflow.io import (
     load_workflow_json,
     save_workflow_json,
@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "fig9": figures.fig9,
     "table4": figures.table4,
     "success_counts": figures.success_counts_experiment,
+    "failures": figures.failure_report,
     "demand4x": figures.demand4x,
 }
 
@@ -55,10 +56,16 @@ def _load_workflow(args) -> "Workflow":
     if args.workflow:
         path = args.workflow
         if path.endswith(".dot"):
-            return workflow_from_dot(open(path).read(), name=path)
+            with open(path) as fh:
+                return workflow_from_dot(fh.read(), name=path)
         return load_workflow_json(path)
     if args.family in REAL_WORKFLOW_NAMES:
         return generate_real_workflow(args.family, seed=args.seed)
+    if args.family not in WORKFLOW_FAMILIES:
+        raise SystemExit(
+            f"unknown workflow family {args.family!r}; valid families: "
+            f"{', '.join(WORKFLOW_FAMILIES)}; real-world models: "
+            f"{', '.join(REAL_WORKFLOW_NAMES)}")
     return generate_workflow(args.family, args.n_tasks, seed=args.seed)
 
 
@@ -88,20 +95,28 @@ def cmd_schedule(args) -> int:
     """``repro schedule``: map a workflow and print the summary."""
     wf = _load_workflow(args)
     cluster = cluster_by_name(args.cluster, bandwidth=args.beta)
-    if args.scale_memory:
-        cluster = scaled_cluster_for(wf, cluster)
-    config = DagHetPartConfig(k_prime_strategy=args.k_strategy)
-    try:
-        mapping = run_schedule(wf, cluster, args.algorithm, config=config)
-    except NoFeasibleMappingError as exc:
-        print(f"no feasible mapping: {exc}", file=sys.stderr)
+    result = solve(ScheduleRequest(
+        workflow=wf,
+        cluster=cluster,
+        algorithm=args.algorithm,
+        config=DagHetPartConfig(k_prime_strategy=args.k_strategy),
+        scale_memory=args.scale_memory,
+        validate=True,
+    ))
+    if result.failure is not None:
+        print(f"no feasible mapping: {result.failure.message}", file=sys.stderr)
         return 2
-    mapping.validate()
-    print(f"algorithm : {mapping.algorithm}")
+    mapping = result.mapping
+    print(f"algorithm : {result.algorithm}")
     print(f"workflow  : {wf.name} ({wf.n_tasks} tasks)")
-    print(f"cluster   : {cluster.name} (k={cluster.k}, beta={cluster.bandwidth:g})")
-    print(f"makespan  : {mapping.makespan():.2f}")
-    print(f"blocks    : {mapping.n_blocks}")
+    print(f"cluster   : {result.cluster} (k={cluster.k}, beta={result.bandwidth:g})")
+    print(f"makespan  : {result.makespan:.2f}")
+    print(f"blocks    : {result.n_blocks}")
+    print(f"runtime   : {result.runtime:.2f}s")
+    if result.k_prime is not None:
+        feasible = sum(1 for p in result.sweep if p.status == "ok")
+        print(f"k'        : {result.k_prime} "
+              f"({feasible}/{len(result.sweep)} candidates feasible)")
     if args.gantt:
         from repro.core.simulate import gantt_text
         print()
@@ -197,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(CLUSTER_PRESETS))
     p.add_argument("--beta", type=float, default=1.0, help="bandwidth")
     p.add_argument("--algorithm", default="daghetpart",
-                   choices=["daghetpart", "daghetmem"])
+                   choices=sorted(available_algorithms()))
     p.add_argument("--k-strategy", default="auto",
                    choices=["auto", "all", "doubling"])
     p.add_argument("--no-scale-memory", dest="scale_memory",

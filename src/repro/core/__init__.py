@@ -23,7 +23,14 @@ from repro.core.baseline import dag_het_mem
 from repro.core.assignment import biggest_assign, fit_block, AssignmentState
 from repro.core.merging import merge_unassigned_to_assigned, find_ms_opt_merge
 from repro.core.swaps import improve_by_swaps, move_critical_to_idle
-from repro.core.heuristic import dag_het_part, DagHetPartConfig, schedule
+from repro.core.heuristic import (
+    DagHetPartConfig,
+    SweepOutcome,
+    SweepPoint,
+    dag_het_part,
+    dag_het_part_sweep,
+    schedule,
+)
 
 __all__ = [
     "QuotientGraph",
@@ -44,6 +51,9 @@ __all__ = [
     "improve_by_swaps",
     "move_critical_to_idle",
     "dag_het_part",
+    "dag_het_part_sweep",
     "DagHetPartConfig",
+    "SweepOutcome",
+    "SweepPoint",
     "schedule",
 ]

@@ -1,4 +1,9 @@
-"""DagHetPart — the four-step heuristic (Section 4.2) and the public API.
+"""DagHetPart — the four-step heuristic (Section 4.2).
+
+The public scheduling surface lives in :mod:`repro.api` (registry +
+request/result envelopes); ``schedule()`` below is the thin back-compat
+shim over it, and :func:`dag_het_part_sweep` exposes the winning ``k'``
+and per-``k'`` trace the API reports.
 
 Step 1 partitions the workflow into ``k'`` blocks for several values of
 ``k'`` ("we tentatively partition the DAG into k' blocks, with
@@ -100,6 +105,33 @@ def _k_prime_candidates(k: int, config: DagHetPartConfig) -> List[int]:
     raise ValueError(f"unknown k' strategy {strategy!r}")
 
 
+@dataclass(frozen=True)
+class SweepPoint:
+    """One ``k'`` evaluated during Step 1's sweep.
+
+    ``makespan`` is the pipeline's result for that ``k'`` (``None`` unless
+    ``status == "ok"``); ``status`` is ``"ok"``, ``"infeasible"`` (no valid
+    assignment / cyclic quotient for this ``k'``) or ``"error"`` (the
+    pipeline raised a :class:`ReproError`).
+    """
+
+    k_prime: int
+    makespan: Optional[float]
+    status: str
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Full outcome of a DagHetPart run: the winning ``k'`` and the trace.
+
+    ``k_prime`` is ``None`` only for empty workflows (no sweep runs).
+    """
+
+    mapping: Mapping
+    k_prime: Optional[int]
+    sweep: Tuple[SweepPoint, ...]
+
+
 def _run_pipeline(wf: Workflow, cluster: Cluster, k_prime: int,
                   config: DagHetPartConfig, cache: RequirementCache,
                   ) -> Optional[Tuple[float, QuotientGraph]]:
@@ -139,52 +171,76 @@ def _run_pipeline(wf: Workflow, cluster: Cluster, k_prime: int,
     return makespan(q, cluster), q
 
 
+def dag_het_part_sweep(wf: Workflow, cluster: Cluster,
+                       config: Optional[DagHetPartConfig] = None,
+                       cache: Optional[RequirementCache] = None) -> SweepOutcome:
+    """Run DagHetPart and keep the full ``k'`` sweep trace.
+
+    Returns a :class:`SweepOutcome` with the best mapping, the winning
+    ``k'`` and one :class:`SweepPoint` per candidate, so ablation benches
+    and the API's result envelopes can report the sweep without re-running.
+
+    Raises :class:`NoFeasibleMappingError` when no ``k'`` admits a valid
+    assignment; the exception carries the trace as its ``sweep`` attribute.
+    """
+    config = config or DagHetPartConfig()
+    if wf.n_tasks == 0:
+        return SweepOutcome(Mapping(wf, cluster, [], algorithm="DagHetPart"),
+                            k_prime=None, sweep=())
+    cache = cache or RequirementCache(wf, methods=config.traversal_methods)
+
+    best: Optional[Tuple[float, QuotientGraph]] = None
+    best_k_prime: Optional[int] = None
+    trace: List[SweepPoint] = []
+    for k_prime in _k_prime_candidates(cluster.k, config):
+        try:
+            result = _run_pipeline(wf, cluster, k_prime, config, cache)
+        except (InvalidPartitionError, ReproError):
+            trace.append(SweepPoint(k_prime, None, "error"))
+            continue
+        if result is None:
+            trace.append(SweepPoint(k_prime, None, "infeasible"))
+            continue
+        trace.append(SweepPoint(k_prime, result[0], "ok"))
+        if best is None or result[0] < best[0]:
+            best = result
+            best_k_prime = k_prime
+
+    if best is None:
+        exc = NoFeasibleMappingError(
+            f"DagHetPart: no feasible mapping of {wf.name!r} "
+            f"({wf.n_tasks} tasks) onto {cluster.name!r} ({cluster.k} procs)",
+            unplaced_tasks=wf.n_tasks)
+        exc.sweep = tuple(trace)
+        raise exc
+
+    mapping = Mapping.from_quotient(best[1], cluster, cache, algorithm="DagHetPart")
+    return SweepOutcome(mapping, k_prime=best_k_prime, sweep=tuple(trace))
+
+
 def dag_het_part(wf: Workflow, cluster: Cluster,
                  config: Optional[DagHetPartConfig] = None,
                  cache: Optional[RequirementCache] = None) -> Mapping:
     """Run DagHetPart; returns the best valid Mapping over the ``k'`` sweep.
 
     Raises :class:`NoFeasibleMappingError` when no ``k'`` admits a valid
-    assignment (the platform lacks resources for the workflow).
+    assignment (the platform lacks resources for the workflow). Use
+    :func:`dag_het_part_sweep` (or ``repro.api.solve``) when the winning
+    ``k'`` / sweep trace is needed as well.
     """
-    config = config or DagHetPartConfig()
-    if wf.n_tasks == 0:
-        return Mapping(wf, cluster, [], algorithm="DagHetPart")
-    cache = cache or RequirementCache(wf, methods=config.traversal_methods)
-
-    best: Optional[Tuple[float, QuotientGraph]] = None
-    for k_prime in _k_prime_candidates(cluster.k, config):
-        try:
-            result = _run_pipeline(wf, cluster, k_prime, config, cache)
-        except (InvalidPartitionError, ReproError):
-            continue
-        if result is None:
-            continue
-        if best is None or result[0] < best[0]:
-            best = result
-
-    if best is None:
-        raise NoFeasibleMappingError(
-            f"DagHetPart: no feasible mapping of {wf.name!r} "
-            f"({wf.n_tasks} tasks) onto {cluster.name!r} ({cluster.k} procs)",
-            unplaced_tasks=wf.n_tasks)
-
-    mapping = Mapping.from_quotient(best[1], cluster, cache, algorithm="DagHetPart")
-    return mapping
+    return dag_het_part_sweep(wf, cluster, config=config, cache=cache).mapping
 
 
 def schedule(wf: Workflow, cluster: Cluster, algorithm: str = "daghetpart",
              config: Optional[DagHetPartConfig] = None) -> Mapping:
-    """Convenience front-end: run one of the paper's two algorithms.
+    """Back-compat front-end: run one registered algorithm by name.
 
-    ``algorithm`` is ``"daghetpart"`` (default) or ``"daghetmem"``.
+    Resolves ``algorithm`` through the :mod:`repro.api` registry (so names
+    like ``"DagHetPart"`` / ``"dag-het-mem"`` and any plugin-registered
+    algorithm work) and returns the bare :class:`Mapping`. New code should
+    prefer ``repro.api.solve``, which also reports runtime, the ``k'``
+    sweep, and structured failures.
     """
-    from repro.core.baseline import dag_het_mem
+    from repro.api.registry import get_algorithm
 
-    name = algorithm.lower().replace("-", "").replace("_", "")
-    if name == "daghetpart":
-        return dag_het_part(wf, cluster, config=config)
-    if name == "daghetmem":
-        return dag_het_mem(wf, cluster)
-    raise ValueError(f"unknown algorithm {algorithm!r}; "
-                     "expected 'daghetpart' or 'daghetmem'")
+    return get_algorithm(algorithm).scheduler.run(wf, cluster, config).mapping

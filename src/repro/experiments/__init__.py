@@ -3,8 +3,9 @@
 * :mod:`repro.experiments.instances` — the evaluation corpus (workflow
   families x sizes + real-world workflows) with laptop-scale defaults and
   ``REPRO_FULL=1`` for the paper's sizes;
-* :mod:`repro.experiments.runner` — runs DagHetMem/DagHetPart pairs and
-  records makespans, runtimes and success;
+* :mod:`repro.experiments.runner` — thin corpus→request adapter over
+  :mod:`repro.api`; records makespans, runtimes, success, failure reasons
+  and the winning ``k'`` per run;
 * :mod:`repro.experiments.metrics` — geometric means and relative
   makespans, matching the paper's aggregation;
 * :mod:`repro.experiments.figures` — one driver per table/figure

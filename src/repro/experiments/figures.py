@@ -6,6 +6,11 @@ holds exactly the series the paper plots (ready for
 per-run data. Corpus size is controlled by the same knobs everywhere
 (``seed``, ``full``, ``families``, ``sizes``) so the benchmarks can run
 reduced corpora while ``REPRO_FULL=1`` reproduces the paper's scale.
+
+Execution goes through :mod:`repro.api` (via the corpus adapter in
+:mod:`repro.experiments.runner`), so records carry structured failure
+reasons and the winning ``k'`` per run; :func:`failure_report` turns the
+former into a table of its own.
 """
 
 from __future__ import annotations
@@ -280,6 +285,35 @@ def success_counts_experiment(seed=0, full=None, families=None, sizes=None,
             rows.append({"cluster": cluster.name, "workflow_type": cat,
                          "algorithm": alg, "scheduled": ok, "total": total})
     return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Failure audit: which runs failed and why (uses RunRecord.failure_reason)
+# ----------------------------------------------------------------------
+def failure_report(seed=0, full=None, families=None, sizes=None,
+                   config: Optional[DagHetPartConfig] = None,
+                   progress=None, parallel=None) -> Dict[str, List]:
+    """Every failed run on the small cluster, with its structured reason.
+
+    The small (18-proc) cluster is where the paper's corpus actually
+    fails to schedule (Section 5.2.2); the rows break the bare success
+    counts down into *why* — the exception kind and message the runner
+    used to discard.
+    """
+    records = _records(small_cluster(), seed=seed, full=full,
+                       families=families, sizes=sizes, config=config,
+                       progress=progress, parallel=parallel)
+    rows = [
+        {"instance": r.instance, "workflow_type": r.category,
+         "algorithm": r.algorithm, "failure_reason": r.failure_reason}
+        for r in records if not r.success
+    ]
+    rows.sort(key=lambda r: (_CAT_ORDER[r["workflow_type"]],
+                             r["instance"], r["algorithm"]))
+    if not rows:
+        rows = [{"instance": "(none)", "workflow_type": "-", "algorithm": "-",
+                 "failure_reason": "all runs scheduled successfully"}]
+    return {"rows": rows, "records": records}
 
 
 # ----------------------------------------------------------------------

@@ -1,37 +1,50 @@
-"""Run DagHetMem / DagHetPart over instances and record everything.
+"""Corpus adapter over :mod:`repro.api`: instances → requests → records.
 
 One :class:`RunRecord` per (instance, algorithm). Failures to schedule are
-legitimate outcomes (Section 5.2.2 counts them), so they are recorded, not
-raised.
+legitimate outcomes (Section 5.2.2 counts them), so they are recorded —
+with a ``failure_reason`` — not raised.
 
-:func:`run_corpus` can fan instances out over worker processes
-(``parallel=N``); records are merged back deterministically by instance
-name, so a parallel run produces the same record list as a serial one up
-to the measured ``runtime`` fields.
+All execution (timing, failure capture, multiprocessing, deterministic
+merge) lives in :func:`repro.api.solve_batch`; this module only translates
+corpus :class:`Instance` objects into :class:`ScheduleRequest` envelopes
+and flattens the resulting :class:`ScheduleResult` list into the flat
+records the metrics layer aggregates.
 """
 
 from __future__ import annotations
 
-import os
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
-from repro.core.baseline import dag_het_mem
-from repro.core.heuristic import DagHetPartConfig, dag_het_part
-from repro.experiments.instances import Instance, scaled_cluster_for
+from repro.api import (
+    PARALLEL_ENV,
+    ScheduleRequest,
+    ScheduleResult,
+    resolve_parallel,
+    solve,
+    solve_batch,
+)
+from repro.experiments.instances import Instance
 from repro.platform.cluster import Cluster
-from repro.utils.errors import NoFeasibleMappingError, ReproError
 
+#: the paper's pairing, in evaluation order (canonical registry aliases)
 ALGORITHMS = ("DagHetMem", "DagHetPart")
 
-#: environment default for ``run_corpus(parallel=None)``; 0 = serial
-PARALLEL_ENV = "REPRO_PARALLEL"
+__all__ = [
+    "ALGORITHMS",
+    "PARALLEL_ENV",
+    "RunRecord",
+    "corpus_requests",
+    "record_from_result",
+    "resolve_parallel",
+    "run_corpus",
+    "run_instance",
+]
 
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Result of one algorithm on one instance."""
+    """Result of one algorithm on one instance (flat, aggregation-ready)."""
 
     instance: str
     family: str
@@ -44,125 +57,103 @@ class RunRecord:
     makespan: float  # inf when unsuccessful
     runtime: float  # wall-clock seconds of the scheduling algorithm
     n_blocks: int
+    failure_reason: str = ""  # "" on success, else "Kind: message"
+    k_prime: Optional[int] = None  # winning k' (sweep algorithms only)
 
 
-def run_instance(inst: Instance, cluster: Cluster,
-                 config: Optional[DagHetPartConfig] = None,
-                 algorithms: Sequence[str] = ALGORITHMS,
-                 validate: bool = False,
-                 scale_memory: bool = True) -> List[RunRecord]:
-    """Run the requested algorithms on one instance.
+def corpus_requests(instances: Sequence[Instance], cluster: Cluster,
+                    config=None, algorithms: Sequence[str] = ALGORITHMS,
+                    validate: bool = False,
+                    scale_memory: bool = True) -> List[ScheduleRequest]:
+    """One :class:`ScheduleRequest` per (instance, algorithm), instance-major.
 
+    Instance metadata rides along in ``tags`` so records can be rebuilt
+    from results (or from persisted result JSON) without the corpus.
     ``scale_memory`` applies the paper's proportional memory scaling so the
     largest task fits somewhere (synthetic corpus rule).
     """
-    cl = scaled_cluster_for(inst.workflow, cluster) if scale_memory else cluster
-    records: List[RunRecord] = []
-    for algorithm in algorithms:
-        start = time.perf_counter()
-        mapping = None
-        try:
-            if algorithm == "DagHetMem":
-                mapping = dag_het_mem(inst.workflow, cl)
-            elif algorithm == "DagHetPart":
-                mapping = dag_het_part(inst.workflow, cl, config=config)
-            else:
-                raise ValueError(f"unknown algorithm {algorithm!r}")
-        except (NoFeasibleMappingError, ReproError):
-            mapping = None
-        elapsed = time.perf_counter() - start
-        if mapping is not None and validate:
-            mapping.validate()
-        records.append(RunRecord(
-            instance=inst.name,
-            family=inst.family,
-            category=inst.category,
-            n_tasks=inst.n_tasks,
+    return [
+        ScheduleRequest(
+            workflow=inst.workflow,
+            cluster=cluster,
             algorithm=algorithm,
-            cluster=cl.name,
-            bandwidth=cl.bandwidth,
-            success=mapping is not None,
-            makespan=mapping.makespan() if mapping is not None else float("inf"),
-            runtime=elapsed,
-            n_blocks=mapping.n_blocks if mapping is not None else 0,
-        ))
-    return records
+            config=config,
+            scale_memory=scale_memory,
+            validate=validate,
+            want_mapping=False,  # records only need the scalars
+            tags={"instance": inst.name, "family": inst.family,
+                  "category": inst.category, "n_tasks": inst.n_tasks},
+        )
+        for inst in instances
+        for algorithm in algorithms
+    ]
 
 
-def _worker(payload: Tuple) -> Tuple[int, str, List[RunRecord]]:
-    """Top-level worker (must be picklable): one instance, all algorithms."""
-    index, inst, cluster, config, algorithms, validate = payload
-    return index, inst.name, run_instance(
-        inst, cluster, config=config, algorithms=algorithms, validate=validate)
+def record_from_result(result: ScheduleResult) -> RunRecord:
+    """Flatten one API result (tags + scalars) into a RunRecord."""
+    tags = result.tags
+    return RunRecord(
+        instance=str(tags.get("instance", result.workflow)),
+        family=str(tags.get("family", result.workflow)),
+        category=str(tags.get("category", "")),
+        n_tasks=int(tags.get("n_tasks", result.n_tasks)),
+        algorithm=result.algorithm,
+        cluster=result.cluster,
+        bandwidth=result.bandwidth,
+        success=result.success,
+        makespan=result.makespan,
+        runtime=result.runtime,
+        n_blocks=result.n_blocks,
+        failure_reason="" if result.failure is None else str(result.failure),
+        k_prime=result.k_prime,
+    )
 
 
-def resolve_parallel(parallel: Optional[int]) -> int:
-    """Normalize the ``parallel`` knob to a worker count (0/1 = serial).
-
-    ``None`` reads :data:`PARALLEL_ENV`; negative values mean "all
-    available CPUs".
-    """
-    if parallel is None:
-        try:
-            parallel = int(os.environ.get(PARALLEL_ENV, "0"))
-        except ValueError:
-            parallel = 0
-    if parallel < 0:
-        parallel = os.cpu_count() or 1
-    return parallel
+def run_instance(inst: Instance, cluster: Cluster,
+                 config=None,
+                 algorithms: Sequence[str] = ALGORITHMS,
+                 validate: bool = False,
+                 scale_memory: bool = True) -> List[RunRecord]:
+    """Run the requested algorithms on one instance (always in-process)."""
+    requests = corpus_requests([inst], cluster, config=config,
+                               algorithms=algorithms, validate=validate,
+                               scale_memory=scale_memory)
+    return [record_from_result(solve(request)) for request in requests]
 
 
 def run_corpus(instances: Sequence[Instance], cluster: Cluster,
-               config: Optional[DagHetPartConfig] = None,
+               config=None,
                algorithms: Sequence[str] = ALGORITHMS,
                validate: bool = False,
                progress: Optional[Callable[[str], None]] = None,
                parallel: Optional[int] = None) -> List[RunRecord]:
     """Run all instances; returns the flat record list.
 
-    ``parallel`` > 1 distributes instances over that many worker
-    processes (``None`` consults the ``REPRO_PARALLEL`` environment
-    variable, ``-1`` uses every CPU). Records are merged deterministically
-    by instance name into the input instance order, so apart from the
-    measured ``runtime`` fields the output is identical to a serial run.
+    ``parallel`` > 1 distributes requests over that many worker processes
+    (``None`` consults the ``REPRO_PARALLEL`` environment variable, ``-1``
+    uses every CPU); see :func:`repro.api.solve_batch` for the merge
+    guarantee — apart from the measured ``runtime`` fields the output is
+    identical to a serial run. ``progress`` receives one message per
+    *instance* (once all its algorithms finished).
     """
-    workers = resolve_parallel(parallel)
-    if workers > 1 and len(instances) > 1:
-        return _run_corpus_parallel(instances, cluster, config, algorithms,
-                                    validate, progress, workers)
-    records: List[RunRecord] = []
-    for inst in instances:
-        if progress is not None:
-            progress(f"running {inst.name} ({inst.n_tasks} tasks) on {cluster.name}")
-        records.extend(run_instance(inst, cluster, config=config,
-                                    algorithms=algorithms, validate=validate))
-    return records
+    instances = list(instances)
+    algorithms = tuple(algorithms)
+    requests = corpus_requests(instances, cluster, config=config,
+                               algorithms=algorithms, validate=validate)
 
+    hook = None
+    if progress is not None and instances and algorithms:
+        pending = {i: len(algorithms) for i in range(len(instances))}
+        done = [0]
 
-def _run_corpus_parallel(instances: Sequence[Instance], cluster: Cluster,
-                         config: Optional[DagHetPartConfig],
-                         algorithms: Sequence[str], validate: bool,
-                         progress: Optional[Callable[[str], None]],
-                         workers: int) -> List[RunRecord]:
-    import multiprocessing
+        def hook(index, request, result):
+            key = index // len(algorithms)
+            pending[key] -= 1
+            if pending[key] == 0:
+                done[0] += 1
+                inst = instances[key]
+                progress(f"finished {inst.name} ({inst.n_tasks} tasks) on "
+                         f"{cluster.name} ({done[0]}/{len(instances)})")
 
-    workers = min(workers, len(instances))
-    payloads = [(i, inst, cluster, config, tuple(algorithms), validate)
-                for i, inst in enumerate(instances)]
-    # fork shares the already-built corpus with the workers; fall back to
-    # the default start method where fork is unavailable
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    by_key = {}
-    with ctx.Pool(processes=workers) as pool:
-        for index, name, records in pool.imap_unordered(_worker, payloads):
-            if progress is not None:
-                progress(f"finished {name} on {cluster.name} "
-                         f"({len(by_key) + 1}/{len(instances)})")
-            by_key[(index, name)] = records
-    merged: List[RunRecord] = []
-    for key in sorted(by_key):
-        merged.extend(by_key[key])
-    return merged
+    results = solve_batch(requests, parallel=parallel, progress=hook)
+    return [record_from_result(r) for r in results]

@@ -1,0 +1,142 @@
+"""Tests of the request/result envelopes: failures, JSON round trip."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    FailureInfo,
+    ScheduleRequest,
+    ScheduleResult,
+    SweepPoint,
+    solve,
+)
+from repro.core.heuristic import DagHetPartConfig
+from repro.generators.families import generate_workflow
+from repro.platform.cluster import Cluster
+from repro.platform.presets import default_cluster
+from repro.platform.processor import Processor
+from repro.utils.errors import (
+    CyclicWorkflowError,
+    InvalidPartitionError,
+    NoFeasibleMappingError,
+    ReproError,
+)
+
+FAST_CFG = DagHetPartConfig(k_prime_values=(1, 4))
+
+
+def _success_result():
+    wf = generate_workflow("blast", 24, seed=1)
+    return solve(ScheduleRequest(workflow=wf, cluster=default_cluster(),
+                                 algorithm="daghetpart", config=FAST_CFG,
+                                 scale_memory=True,
+                                 tags={"instance": "blast-24", "n_tasks": 24}))
+
+
+def _failed_result():
+    wf = generate_workflow("blast", 24, seed=1)
+    tiny = Cluster([Processor("p0", 1.0, 0.001)])
+    return solve(ScheduleRequest(workflow=wf, cluster=tiny,
+                                 algorithm="daghetpart", config=FAST_CFG,
+                                 tags={"instance": "blast-24"}))
+
+
+class TestFailureInfo:
+    def test_from_exception_captures_unplaced(self):
+        info = FailureInfo.from_exception(
+            NoFeasibleMappingError("too small", unplaced_tasks=7))
+        assert info.kind == "NoFeasibleMappingError"
+        assert info.unplaced_tasks == 7
+        assert "too small" in str(info)
+
+    @pytest.mark.parametrize("exc", [
+        NoFeasibleMappingError("m", unplaced_tasks=3),
+        CyclicWorkflowError(message="m"),
+        InvalidPartitionError("m"),
+        ReproError("m"),
+    ])
+    def test_to_exception_roundtrip(self, exc):
+        back = FailureInfo.from_exception(exc).to_exception()
+        assert type(back) is type(exc)
+        assert str(back) == str(exc)
+
+    def test_unknown_kind_falls_back_to_repro_error(self):
+        assert isinstance(FailureInfo("Weird", "m").to_exception(), ReproError)
+
+
+class TestScheduleResult:
+    def test_success_envelope(self):
+        r = _success_result()
+        assert r.success and r.failure is None
+        assert r.algorithm == "DagHetPart"
+        assert r.makespan > 0 and r.runtime >= 0 and r.n_blocks >= 1
+        assert r.k_prime in (1, 4)
+        assert [p.k_prime for p in r.sweep] == [1, 4]
+        assert any(p.status == "ok" for p in r.sweep)
+        assert r.mapping is not None
+        assert r.mapping.makespan() == pytest.approx(r.makespan)
+        assert r.raise_if_failed() is r
+
+    def test_failure_envelope(self):
+        r = _failed_result()
+        assert not r.success
+        assert r.failure.kind == "NoFeasibleMappingError"
+        assert r.failure.unplaced_tasks == r.n_tasks > 0
+        assert math.isinf(r.makespan)
+        assert r.n_blocks == 0 and r.mapping is None and r.k_prime is None
+        # the sweep trace survives the failure: every candidate was tried
+        # (only k'=1 is a valid candidate on a 1-processor cluster)
+        assert [p.status for p in r.sweep] == ["infeasible"]
+        with pytest.raises(NoFeasibleMappingError):
+            r.raise_if_failed()
+
+    def test_result_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _success_result().makespan = 0.0
+
+    def test_without_mapping(self):
+        r = _success_result()
+        stripped = r.without_mapping()
+        assert stripped.mapping is None
+        assert stripped == r  # mapping is excluded from comparison
+
+
+class TestJsonRoundTrip:
+    def test_success_roundtrips_bit_for_bit(self):
+        r = _success_result()
+        text = r.to_json()
+        back = ScheduleResult.from_json(text)
+        assert back.to_json() == text
+        assert back == r.without_mapping()
+        assert back.mapping is None
+        assert back.tags == {"instance": "blast-24", "n_tasks": 24}
+        assert back.sweep == r.sweep
+
+    def test_failure_roundtrips_bit_for_bit(self):
+        r = _failed_result()
+        text = r.to_json()
+        # strict RFC 8259 JSON: the inf makespan serializes as null, not
+        # the non-standard Infinity literal (which jq/JS reject)
+        assert "Infinity" not in text
+        back = ScheduleResult.from_json(text)
+        assert back.to_json() == text
+        assert back == r
+        assert back.failure == r.failure
+        assert math.isinf(back.makespan)
+        with pytest.raises(NoFeasibleMappingError):
+            back.raise_if_failed()
+
+    def test_json_is_deterministic_and_sorted(self):
+        r = _success_result()
+        assert r.to_json() == r.to_json()
+        data = json.loads(r.to_json())
+        assert list(data) == sorted(data)
+
+    def test_dict_roundtrip_preserves_sweep_points(self):
+        r = _success_result()
+        back = ScheduleResult.from_dict(r.to_dict())
+        assert all(isinstance(p, SweepPoint) for p in back.sweep)
+        assert back.sweep == r.sweep

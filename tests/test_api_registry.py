@@ -1,0 +1,125 @@
+"""Tests of the algorithm registry: registration, lookup, rejection."""
+
+import pytest
+
+from repro.api import (
+    SchedulerOutput,
+    algorithm_infos,
+    available_algorithms,
+    canonical_name,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.heuristic import DagHetPartConfig
+from repro.core.mapping import Mapping
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster
+
+
+class TestBuiltins:
+    def test_builtins_registered(self):
+        assert {"daghetmem", "daghetpart"} <= set(available_algorithms())
+
+    def test_display_names_match_records(self):
+        assert get_algorithm("daghetmem").display_name == "DagHetMem"
+        assert get_algorithm("daghetpart").display_name == "DagHetPart"
+
+    def test_daghetpart_declares_config_and_capabilities(self):
+        info = get_algorithm("daghetpart")
+        assert info.config_cls is DagHetPartConfig
+        assert "k-prime-sweep" in info.capabilities
+        assert info.summary
+
+    def test_infos_sorted(self):
+        infos = algorithm_infos()
+        assert [i.name for i in infos] == sorted(i.name for i in infos)
+
+
+class TestNameResolution:
+    @pytest.mark.parametrize("alias", [
+        "daghetpart", "DagHetPart", "dag-het-part", "dag_het_part",
+        "DAG HET PART",
+    ])
+    def test_aliases_resolve(self, alias):
+        assert get_algorithm(alias).name == "daghetpart"
+
+    def test_canonical_name(self):
+        assert canonical_name("Dag-Het_Part ") == "daghetpart"
+
+    def test_canonical_name_rejects_non_str(self):
+        with pytest.raises(TypeError):
+            canonical_name(7)
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown algorithm") as exc:
+            get_algorithm("hexagonal")
+        assert "daghetmem" in str(exc.value)
+        assert "daghetpart" in str(exc.value)
+
+
+class TestRegistration:
+    def test_register_and_solve_through_every_entry_point(self):
+        from repro.api import ScheduleRequest, solve
+        from repro.core.heuristic import schedule
+
+        @register_algorithm("first-fit-test", display_name="FirstFitTest",
+                            capabilities=("test",))
+        def first_fit(workflow, cluster, config):
+            # trivially valid: everything in one block on the biggest node
+            proc = cluster.by_memory_desc()[0]
+            from repro.core.quotient import QuotientGraph
+            from repro.memdag.requirement import RequirementCache
+            cache = RequirementCache(workflow)
+            q = QuotientGraph.from_partition(
+                workflow, [set(workflow.tasks())], [proc])
+            return SchedulerOutput(
+                mapping=Mapping.from_quotient(q, cluster, cache,
+                                              algorithm="FirstFitTest"))
+
+        try:
+            wf = generate_workflow("blast", 20, seed=3)
+            cluster = default_cluster()
+            # via the API façade
+            result = solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                           algorithm="first_fit_test",
+                                           scale_memory=True))
+            assert result.success and result.algorithm == "FirstFitTest"
+            # via the back-compat shim — no string dispatch to update
+            from repro.experiments.instances import scaled_cluster_for
+            mapping = schedule(wf, scaled_cluster_for(wf, cluster),
+                               "FirstFitTest")
+            assert mapping.algorithm == "FirstFitTest"
+        finally:
+            unregister_algorithm("first-fit-test")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            get_algorithm("first-fit-test")
+
+    def test_duplicate_name_rejected(self):
+        @register_algorithm("dup-test")
+        def algo(workflow, cluster, config):  # pragma: no cover - never run
+            raise AssertionError
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_algorithm("DUP_TEST")(algo)
+        finally:
+            unregister_algorithm("dup-test")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            register_algorithm("--__")
+
+    def test_function_must_return_output_or_mapping(self):
+        @register_algorithm("bad-return-test")
+        def bad(workflow, cluster, config):
+            return 42
+        try:
+            wf = generate_workflow("blast", 16, seed=0)
+            with pytest.raises(TypeError, match="SchedulerOutput"):
+                get_algorithm("bad-return-test").scheduler.run(
+                    wf, default_cluster(), None)
+        finally:
+            unregister_algorithm("bad-return-test")
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_algorithm("never-registered")

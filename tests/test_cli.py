@@ -62,6 +62,20 @@ class TestSchedule:
         data = json.loads(out.read_text())
         assert data["task_level_makespan"] <= data["block_level_makespan"] + 1e-9
 
+    def test_schedule_reports_winning_k_prime(self, capsys):
+        rc = main(["schedule", "--family", "blast", "-n", "40", "--seed", "2",
+                   "--k-strategy", "doubling"])
+        assert rc == 0
+        assert "k'        :" in capsys.readouterr().out
+
+    def test_unknown_family_lists_valid_names(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedule", "--family", "frobnicate"])
+        message = str(exc.value)
+        assert "unknown workflow family 'frobnicate'" in message
+        assert "blast" in message  # generator families listed
+        assert "airrflow" in message  # real-world models listed
+
     def test_infeasible_returns_2(self, tmp_path, capsys):
         # a workflow too big for the unscaled default cluster
         wf_path = tmp_path / "wf.json"

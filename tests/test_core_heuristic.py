@@ -160,3 +160,43 @@ class TestScheduleApi:
         wf = generate_workflow("blast", 10, seed=0)
         with pytest.raises(ValueError, match="unknown algorithm"):
             schedule(wf, unit_cluster, "hexagonal")
+
+
+class TestSweepOutcome:
+    def test_sweep_reports_winning_k_prime(self):
+        from repro.core.heuristic import dag_het_part_sweep
+        wf = generate_workflow("blast", 40, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        config = DagHetPartConfig(k_prime_values=(1, 4, 12))
+        outcome = dag_het_part_sweep(wf, cluster, config=config)
+        assert outcome.k_prime in (1, 4, 12)
+        assert [p.k_prime for p in outcome.sweep] == [1, 4, 12]
+        # the winner realizes the best "ok" makespan of the trace
+        ok = {p.k_prime: p.makespan for p in outcome.sweep if p.status == "ok"}
+        assert outcome.k_prime in ok
+        assert ok[outcome.k_prime] == min(ok.values())
+
+    def test_sweep_matches_plain_dag_het_part(self):
+        wf = generate_workflow("bwa", 30, seed=2)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        from repro.core.heuristic import dag_het_part_sweep
+        config = DagHetPartConfig(k_prime_strategy="doubling")
+        outcome = dag_het_part_sweep(wf, cluster, config=config)
+        mapping = dag_het_part(wf, cluster, config=config)
+        assert outcome.mapping.makespan() == pytest.approx(mapping.makespan())
+
+    def test_empty_workflow_has_no_sweep(self):
+        from repro.core.heuristic import dag_het_part_sweep
+        outcome = dag_het_part_sweep(Workflow("empty"), default_cluster())
+        assert outcome.k_prime is None and outcome.sweep == ()
+        assert outcome.mapping.n_blocks == 0
+
+    def test_failure_carries_sweep_trace(self):
+        from repro.core.heuristic import dag_het_part_sweep
+        wf = generate_workflow("blast", 24, seed=0)
+        tiny = Cluster([Processor("p", 1.0, 0.001)])
+        with pytest.raises(NoFeasibleMappingError) as exc:
+            dag_het_part_sweep(wf, tiny)
+        assert len(exc.value.sweep) >= 1
+        assert all(p.status in ("infeasible", "error")
+                   for p in exc.value.sweep)

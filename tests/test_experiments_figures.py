@@ -102,3 +102,16 @@ class TestSectionExperiments:
         for row in out["rows"]:
             assert "relative_makespan_pct_1x" in row
             assert "relative_makespan_pct_4x" in row
+
+    def test_failure_report_structure(self):
+        out = figures.failure_report(**TINY)
+        assert out["rows"], "rows are never empty (placeholder when clean)"
+        for row in out["rows"]:
+            assert set(row) == {"instance", "workflow_type", "algorithm",
+                                "failure_reason"}
+        # every failed record is accounted for, with a structured reason
+        failed = [r for r in out["records"] if not r.success]
+        real_rows = [r for r in out["rows"] if r["instance"] != "(none)"]
+        assert len(real_rows) == len(failed)
+        for row in real_rows:
+            assert row["failure_reason"]
