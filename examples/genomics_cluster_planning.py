@@ -5,9 +5,13 @@ whether upgrading from the small (18-node) to the default (36) or large
 (60) cluster is worth it, and how sensitive the answer is to workflow size.
 This reproduces the reasoning behind Fig. 3 (right) on a concrete scenario.
 
-Scheduling goes through ``repro.api.solve``: infeasible platforms come
-back as structured failures on the result (no try/except needed), and the
-winning ``k'`` shows how aggressively DagHetPart partitioned.
+The whole planning question is one declarative ``ScenarioSpec``: a
+family-grid workflow source (three sizes of the "genome" family) crossed
+with three platform axes (small/default/large presets) and both
+algorithms. ``run_scenario`` streams the grid through ``repro.api``;
+infeasible platforms come back as structured failures on the results (no
+try/except needed), and the winning ``k'`` shows how aggressively
+DagHetPart partitioned.
 
 Run:  python examples/genomics_cluster_planning.py
 (set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
@@ -15,35 +19,52 @@ Run:  python examples/genomics_cluster_planning.py
 
 import os
 
-from repro import DagHetPartConfig
-from repro.api import ScheduleRequest, solve
-from repro.generators.families import generate_workflow
-from repro.platform.presets import default_cluster, large_cluster, small_cluster
+from repro.api import (
+    AlgorithmSpec,
+    FamilyGridSource,
+    PlatformAxis,
+    ScenarioSpec,
+    run_scenario,
+)
 
 SCALE = int(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
-CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
 
 
 def main() -> None:
+    sizes = tuple(max(16, n // SCALE) for n in (100, 400, 800))
+    spec = ScenarioSpec(
+        name="genomics-cluster-planning",
+        description="is a bigger cluster worth it for genome workflows?",
+        workflows=(FamilyGridSource(families=("genome",),
+                                    sizes={"plan": sizes}, seed=11),),
+        platforms=(PlatformAxis(preset="small"),
+                   PlatformAxis(preset="default"),
+                   PlatformAxis(preset="large")),
+        algorithms=(AlgorithmSpec("daghetmem"),
+                    AlgorithmSpec("daghetpart",
+                                  config={"k_prime_strategy": "doubling"})),
+        tags={"preset": "{preset}"},  # template: expanded per request
+        scale_memory=True,
+    )
+
+    results = list(run_scenario(spec))  # add cache="plan-cache/" to resume
+    by_key = {(r.tags["instance"], r.tags["preset"], r.algorithm): r
+              for r in results}
+
     print(f"{'workflow':>14s} {'cluster':>12s} {'baseline':>10s} "
           f"{'daghetpart':>10s} {'speedup':>8s} {'blocks':>6s} {'k-prime':>7s}")
-    for n_tasks in (100, 400, 800):
-        wf = generate_workflow("genome", max(16, n_tasks // SCALE), seed=11)
-        for cluster_factory in (small_cluster, default_cluster, large_cluster):
-            cluster = cluster_factory()
-            base = solve(ScheduleRequest(workflow=wf, cluster=cluster,
-                                         algorithm="daghetmem",
-                                         scale_memory=True))
-            part = solve(ScheduleRequest(workflow=wf, cluster=cluster,
-                                         algorithm="daghetpart", config=CONFIG,
-                                         scale_memory=True, validate=True))
+    for n in sizes:
+        instance = f"genome-{n}"
+        for cluster in ("small", "default", "large"):
+            base = by_key[(instance, cluster, "DagHetMem")]
+            part = by_key[(instance, cluster, "DagHetPart")]
             failed = base.failure or part.failure
             if failed is not None:  # platform too small
-                print(f"{wf.name:>14s} {cluster.name:>12s} "
+                print(f"{instance:>14s} {cluster:>12s} "
                       f"-- no feasible mapping ({failed.kind})")
                 continue
             speedup = base.makespan / part.makespan
-            print(f"{wf.name:>14s} {cluster.name:>12s} "
+            print(f"{instance:>14s} {cluster:>12s} "
                   f"{base.makespan:10.1f} {part.makespan:10.1f} "
                   f"{speedup:7.2f}x {part.n_blocks:6d} {part.k_prime:7d}")
     print("\nReading: the speedup of heterogeneity-aware mapping grows with "

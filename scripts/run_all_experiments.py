@@ -1,42 +1,48 @@
 """Run the complete evaluation and dump results for EXPERIMENTS.md.
 
-Collects one record set per cluster configuration and derives every
-table/figure from the shared records (instead of re-running corpora per
-figure). Writes ``experiments_results.json`` and a plain-text report.
+Each cluster configuration is one declarative :class:`ScenarioSpec`
+(built by :func:`repro.experiments.figures.corpus_scenario` — the same
+bridge the figure drivers use), executed through ``repro.api``'s
+streaming scenario runner; every table/figure is derived from the shared
+record sets instead of re-running corpora per figure. Writes
+``experiments_results.json`` and a plain-text report.
 
 Environment: REPRO_SCALE / REPRO_FULL control workflow sizes as usual;
 ``--parallel N`` (or REPRO_PARALLEL) fans requests out over N worker
-processes per corpus run. Scheduling goes through ``repro.api.solve_batch``;
-the dumped ``results`` section holds the full ScheduleResult envelopes
-(sweep traces, winning k', structured failure reasons).
+processes per scenario. ``--cache-dir DIR`` turns the whole evaluation
+into a resumable sweep: results are fingerprint-cached on disk, so an
+interrupted run (or a re-run after editing the aggregations) only solves
+what is missing. The dumped ``results`` section holds the full
+ScheduleResult envelopes (sweep traces, winning k', structured failure
+reasons).
+
+Tradeoff note: each scenario regenerates its (deterministic, seeded)
+corpus during expansion rather than sharing one pre-built instance list
+across cluster configurations as the pre-scenario script did. Workflow
+generation is a few percent of solve time at any scale, and in exchange
+every record set is a self-contained JSON spec (dumped under
+``scenarios`` in the output) that reproduces standalone via
+``repro scenario run``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
 from dataclasses import asdict
 
-from repro.api import solve_batch
+from repro.api import ResultCache, run_scenario
 from repro.core.heuristic import DagHetPartConfig
-from repro.experiments.instances import build_corpus, synthetic_sizes
+from repro.experiments.figures import corpus_scenario
+from repro.experiments.instances import synthetic_sizes
 from repro.experiments.metrics import (
     aggregate_by,
     makespan_ratios,
     relative_makespan_by,
     success_counts,
 )
-from repro.experiments.runner import corpus_requests, record_from_result
-from repro.platform.presets import (
-    default_cluster,
-    large_cluster,
-    lesshet_cluster,
-    morehet_cluster,
-    nohet_cluster,
-    small_cluster,
-)
+from repro.experiments.runner import record_from_result
 
 CONFIG = DagHetPartConfig(k_prime_strategy="doubling")
 SEED = 0
@@ -46,12 +52,11 @@ def log(msg: str) -> None:
     print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
 
-def run(cluster, corpus, label, parallel=None):
-    """One corpus sweep through the repro.api batch façade."""
-    log(f"running corpus on {label} ({len(corpus)} instances)")
+def run(spec, label, parallel=None, cache=None):
+    """One scenario sweep, streamed through the repro.api batch façade."""
+    log(f"running scenario {spec.name!r} on {label} ({spec.size()} requests)")
     start = time.time()
-    requests = corpus_requests(corpus, cluster, config=CONFIG)
-    results = solve_batch(requests, parallel=parallel)
+    results = list(run_scenario(spec, parallel=parallel, cache=cache))
     log(f"  done in {time.time() - start:.0f}s")
     return results
 
@@ -59,28 +64,40 @@ def run(cluster, corpus, label, parallel=None):
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
-                        help="worker processes per corpus run "
+                        help="worker processes per scenario "
                              "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="fingerprint-keyed result cache; makes the whole "
+                             "evaluation resumable")
     args = parser.parse_args()
     sizes = synthetic_sizes()
     log(f"synthetic sizes: {sizes}")
-    corpus = build_corpus(seed=SEED, sizes=sizes)
-    corpus_4x = build_corpus(seed=SEED, sizes=sizes, work_factor=4.0)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
-    j = args.parallel
+    def spec(name, **kwargs):
+        return corpus_scenario(name, seed=SEED, sizes=sizes, config=CONFIG,
+                               **kwargs)
+
     plan = {
-        "default": (default_cluster(), corpus, "default-36"),
-        "small": (small_cluster(), corpus, "small-18"),
-        "large": (large_cluster(), corpus, "large-60"),
-        "nohet": (nohet_cluster(), corpus, "nohet"),
-        "lesshet": (lesshet_cluster(), corpus, "lesshet"),
-        "morehet": (morehet_cluster(), corpus, "morehet"),
-        "beta0.1": (default_cluster(bandwidth=0.1), corpus, "beta=0.1"),
-        "beta5": (default_cluster(bandwidth=5.0), corpus, "beta=5"),
-        "demand4x": (default_cluster(), corpus_4x, "4x demand"),
+        "default": (spec("all-default", preset="default"), "default-36"),
+        "small": (spec("all-small", preset="small"), "small-18"),
+        "large": (spec("all-large", preset="large"), "large-60"),
+        "nohet": (spec("all-nohet", preset="nohet"), "nohet"),
+        "lesshet": (spec("all-lesshet", preset="lesshet"), "lesshet"),
+        "morehet": (spec("all-morehet", preset="morehet"), "morehet"),
+        "beta0.1": (spec("all-beta0.1", preset="default", bandwidth=0.1),
+                    "beta=0.1"),
+        "beta5": (spec("all-beta5", preset="default", bandwidth=5.0), "beta=5"),
+        "demand4x": (spec("all-demand4x", preset="default", work_factor=4.0),
+                     "4x demand"),
     }
-    result_sets = {key: run(cluster, corp, label, j)
-                   for key, (cluster, corp, label) in plan.items()}
+    result_sets = {key: run(scenario, label, args.parallel, cache)
+                   for key, (scenario, label) in plan.items()}
+    if cache is not None:
+        stats = cache.stats()
+        log(f"cache: hits={stats['hits']} misses={stats['misses']} "
+            f"entries={stats['entries']}")
+        cache.close()
     record_sets = {key: [record_from_result(r) for r in results]
                    for key, results in result_sets.items()}
 
@@ -180,6 +197,10 @@ def main() -> None:
         key: [r.to_dict() for r in results]
         for key, results in result_sets.items()
     }
+    # the scenario specs themselves, so any record set can be reproduced
+    # standalone with `repro scenario run`
+    out["scenarios"] = {key: scenario.to_dict()
+                        for key, (scenario, _) in plan.items()}
 
     with open("experiments_results.json", "w") as fh:
         json.dump(out, fh, indent=1, default=str)

@@ -50,10 +50,13 @@ from repro.core import (
 )
 from repro.api import (
     FailureInfo,
+    ScenarioSpec,
     ScheduleRequest,
     ScheduleResult,
     available_algorithms,
+    load_scenario,
     register_algorithm,
+    run_scenario,
     solve,
     solve_batch,
 )
@@ -84,10 +87,13 @@ __all__ = [
     "dag_het_part",
     "schedule",
     "FailureInfo",
+    "ScenarioSpec",
     "ScheduleRequest",
     "ScheduleResult",
     "available_algorithms",
+    "load_scenario",
     "register_algorithm",
+    "run_scenario",
     "solve",
     "solve_batch",
     "generate_workflow",

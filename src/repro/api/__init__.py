@@ -14,9 +14,15 @@ examples, future serving layers):
 * :mod:`repro.api.envelopes` — frozen ``ScheduleRequest`` /
   ``ScheduleResult`` envelopes with structured ``FailureInfo`` and JSON
   round-tripping;
-* :mod:`repro.api.batch` — ``solve(request)`` and
-  ``solve_batch(requests, parallel=N)`` (deterministic parallel merge);
-* :mod:`repro.api.schedulers` — the paper's two built-in algorithms.
+* :mod:`repro.api.batch` — ``solve(request)``,
+  ``solve_batch(requests, parallel=N)`` (deterministic parallel merge)
+  and the streaming ``iter_solve_batch`` it is built on;
+* :mod:`repro.api.scenario` — declarative ``ScenarioSpec`` (JSON-round-
+  trippable experiment grids) with ``expand``/``run_scenario``;
+* :mod:`repro.api.cache` — fingerprint-keyed on-disk ``ResultCache``
+  (resume instead of recompute);
+* :mod:`repro.api.schedulers` — the built-in algorithms (the paper's two
+  plus the memory-oblivious HEFT-style list scheduler).
 """
 
 from repro.api.envelopes import (
@@ -38,16 +44,38 @@ from repro.api.registry import (
 from repro.api import schedulers as _builtin_schedulers  # noqa: F401  (registers)
 from repro.api.batch import (
     PARALLEL_ENV,
+    iter_solve_batch,
     resolve_parallel,
     solve,
     solve_batch,
+)
+from repro.api.cache import ResultCache, request_fingerprint
+from repro.api.scenario import (
+    AlgorithmSpec,
+    FamilyGridSource,
+    FileWorkflowSource,
+    PlatformAxis,
+    RealWorkflowSource,
+    ScenarioSpec,
+    collect_scenario,
+    expand,
+    load_scenario,
+    run_scenario,
+    save_scenario,
 )
 from repro.core.heuristic import SweepPoint
 
 __all__ = [
     "AlgorithmInfo",
+    "AlgorithmSpec",
     "FailureInfo",
+    "FamilyGridSource",
+    "FileWorkflowSource",
     "PARALLEL_ENV",
+    "PlatformAxis",
+    "RealWorkflowSource",
+    "ResultCache",
+    "ScenarioSpec",
     "Scheduler",
     "SchedulerOutput",
     "ScheduleRequest",
@@ -56,9 +84,16 @@ __all__ = [
     "algorithm_infos",
     "available_algorithms",
     "canonical_name",
+    "collect_scenario",
+    "expand",
     "get_algorithm",
+    "iter_solve_batch",
+    "load_scenario",
     "register_algorithm",
+    "request_fingerprint",
     "resolve_parallel",
+    "run_scenario",
+    "save_scenario",
     "solve",
     "solve_batch",
     "unregister_algorithm",

@@ -4,11 +4,18 @@
 lookup, optional memory scaling, timed algorithm run, failure capture into
 a :class:`FailureInfo`, optional validation, envelope assembly.
 
-:func:`solve_batch` runs many requests, optionally fanned out over worker
-processes; results come back merged deterministically into the input
-order, so apart from the measured ``runtime`` fields a parallel batch is
-identical to a serial one. This is the machinery the corpus runner used to
-carry privately — serial CLI calls and parallel experiment sweeps now go
+:func:`iter_solve_batch` streams results back in request order while
+keeping only a bounded window of requests in flight, so arbitrarily large
+sweeps (scenario cross-products, million-request corpora) never
+materialise all requests or results at once; it optionally consults a
+:class:`~repro.api.cache.ResultCache` so repeated sweeps are served from
+disk instead of recomputed.
+
+:func:`solve_batch` is the list-returning façade over the same iterator;
+results come back merged deterministically into the input order, so apart
+from the measured ``runtime`` fields a parallel batch is identical to a
+serial one. This is the machinery the corpus runner used to carry
+privately — serial CLI calls and parallel experiment sweeps now go
 through the same façade.
 """
 
@@ -16,7 +23,9 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Iterable, List, Optional, Tuple
+import warnings
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.api.envelopes import FailureInfo, ScheduleRequest, ScheduleResult
 from repro.api.registry import get_algorithm
@@ -84,9 +93,14 @@ def resolve_parallel(parallel: Optional[int]) -> int:
     available CPUs".
     """
     if parallel is None:
+        raw = os.environ.get(PARALLEL_ENV, "0")
         try:
-            parallel = int(os.environ.get(PARALLEL_ENV, "0"))
+            parallel = int(raw)
         except ValueError:
+            warnings.warn(
+                f"ignoring unparsable {PARALLEL_ENV}={raw!r} (expected an "
+                f"integer worker count); running serially",
+                RuntimeWarning, stacklevel=2)
             parallel = 0
     if parallel < 0:
         parallel = os.cpu_count() or 1
@@ -99,9 +113,103 @@ def _worker(payload: Tuple[int, ScheduleRequest]) -> Tuple[int, ScheduleResult]:
     return index, solve(request)
 
 
+def _lookup(cache, request: ScheduleRequest):
+    """(fingerprint, cached result) for a request; (None, None) when not cacheable.
+
+    Requests that want the live mapping back are never served from cache —
+    the mapping does not survive serialization, so a hit would silently
+    downgrade the result.
+    """
+    if cache is None or request.want_mapping:
+        return None, None
+    fingerprint = cache.fingerprint(request)
+    return fingerprint, cache.get(fingerprint, request)
+
+
+def iter_solve_batch(requests: Iterable[ScheduleRequest],
+                     parallel: Optional[int] = None,
+                     progress: Optional[ProgressHook] = None,
+                     cache=None,
+                     window: Optional[int] = None) -> Iterator[ScheduleResult]:
+    """Stream results back in request order, never holding the whole batch.
+
+    ``requests`` may be any iterable — including a lazy generator over a
+    scenario cross-product; it is consumed incrementally, with at most
+    ``window`` requests (default ``4 x workers``) in flight at a time, so
+    million-request sweeps stay at constant memory. ``parallel`` behaves
+    as in :func:`solve_batch`. ``progress`` is called in the parent, in
+    request order, as each result is yielded.
+
+    ``cache`` is an optional :class:`repro.api.cache.ResultCache`:
+    requests whose fingerprint is already stored are served from disk
+    without a ``solve`` call (their ``tags`` are taken from the incoming
+    request, not the stored result), and every freshly computed result is
+    appended to the cache before being yielded — a crashed sweep resumes
+    where it stopped. Requests with ``want_mapping=True`` bypass the
+    cache, because the live mapping cannot be rehydrated from disk.
+    """
+    workers = resolve_parallel(parallel)
+    if workers <= 1:
+        for index, request in enumerate(requests):
+            fingerprint, result = _lookup(cache, request)
+            if result is None:
+                result = solve(request)
+                if fingerprint is not None:
+                    cache.put(fingerprint, result)
+            if progress is not None:
+                progress(index, request, result)
+            yield result
+        return
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    window = max(int(window or 4 * workers), workers)
+    # entries are (index, request, fingerprint, ready result | None, future | None)
+    pending: deque = deque()
+    inflight = 0
+    with ctx.Pool(processes=workers) as pool:
+        for index, request in enumerate(requests):
+            fingerprint, hit = _lookup(cache, request)
+            if hit is not None:
+                pending.append((index, request, fingerprint, hit, None))
+            else:
+                future = pool.apply_async(_worker, ((index, request),))
+                pending.append((index, request, fingerprint, None, future))
+                inflight += 1
+            # drain: cached heads stream immediately; a future head is only
+            # waited on once the in-flight window (or the pending queue,
+            # when cache hits pile up behind a slow miss) is full
+            while pending and (pending[0][4] is None or inflight >= window
+                               or len(pending) >= 4 * window):
+                idx, req, fp, result, future = pending.popleft()
+                if future is not None:
+                    _, result = future.get()
+                    inflight -= 1
+                    if fp is not None:
+                        cache.put(fp, result)
+                if progress is not None:
+                    progress(idx, req, result)
+                yield result
+        while pending:
+            idx, req, fp, result, future = pending.popleft()
+            if future is not None:
+                _, result = future.get()
+                inflight -= 1
+                if fp is not None:
+                    cache.put(fp, result)
+            if progress is not None:
+                progress(idx, req, result)
+            yield result
+
+
 def solve_batch(requests: Iterable[ScheduleRequest],
                 parallel: Optional[int] = None,
-                progress: Optional[ProgressHook] = None) -> List[ScheduleResult]:
+                progress: Optional[ProgressHook] = None,
+                cache=None) -> List[ScheduleResult]:
     """Run every request; results are returned in the input order.
 
     ``parallel`` > 1 distributes requests over that many worker processes
@@ -110,30 +218,10 @@ def solve_batch(requests: Iterable[ScheduleRequest],
     requests — and any custom algorithms registered before the call — with
     the workers; where fork is unavailable the default start method is
     used, which requires registrations to happen at import time.
-    ``progress`` is called in the parent once per completed request.
+    ``progress`` is called in the parent, in request order, once per
+    request. ``cache`` is forwarded to :func:`iter_solve_batch`.
     """
     requests = list(requests)
     workers = min(resolve_parallel(parallel), len(requests))
-    if workers <= 1 or len(requests) <= 1:
-        results: List[ScheduleResult] = []
-        for index, request in enumerate(requests):
-            result = solve(request)
-            results.append(result)
-            if progress is not None:
-                progress(index, request, result)
-        return results
-
-    import multiprocessing
-
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    by_index: dict = {}
-    with ctx.Pool(processes=workers) as pool:
-        payloads = list(enumerate(requests))
-        for index, result in pool.imap_unordered(_worker, payloads):
-            by_index[index] = result
-            if progress is not None:
-                progress(index, requests[index], result)
-    return [by_index[i] for i in range(len(requests))]
+    return list(iter_solve_batch(requests, parallel=workers,
+                                 progress=progress, cache=cache))

@@ -1,0 +1,215 @@
+"""On-disk result cache keyed by a stable request fingerprint.
+
+A :class:`ResultCache` is a directory holding one append-only JSONL file;
+each line is ``{"fp": <fingerprint>, "result": <ScheduleResult.to_dict()>}``.
+Lines are flushed as they are written, so a crashed sweep leaves a valid
+prefix behind and the next run resumes where it stopped instead of
+recomputing (a truncated final line — the crash artifact — is skipped on
+load and repaired on the next write).
+
+Only a ``fingerprint → byte offset`` index is kept in memory; result
+payloads stay on disk and are read back lazily on a hit, so a cache over
+a million-request sweep costs the parent process megabytes, not the
+gigabytes the payloads occupy — the streaming batch iterator keeps its
+constant-memory contract even when fully cache-served.
+
+The fingerprint (:func:`request_fingerprint`) hashes everything that
+determines the *outcome* of a solve — workflow structure and weights,
+cluster processors and interconnect, canonical algorithm name, config
+fields, and the ``scale_memory``/``validate`` knobs. It deliberately
+excludes ``tags`` (correlation metadata that does not influence the
+result) and ``want_mapping`` (which only controls whether the live
+mapping rides on the envelope): two requests for the same computation hit
+the same cache line no matter how they are labelled. On a hit the stored
+result is rehydrated with the *incoming* request's tags, so records
+rebuilt from cached results are identical to freshly computed ones apart
+from the recorded ``runtime``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.api.envelopes import ScheduleRequest, ScheduleResult
+from repro.api.registry import canonical_name
+
+#: file name of the cache inside its directory
+CACHE_FILENAME = "results.jsonl"
+
+
+def _workflow_key(wf) -> Dict[str, Any]:
+    """Canonical description of a workflow: name, tasks, weights, edges."""
+    return {
+        "name": wf.name,
+        "tasks": [[repr(u), wf.work(u), wf.memory(u)] for u in wf.tasks()],
+        "edges": [[repr(u), repr(v), c] for u, v, c in wf.edges()],
+    }
+
+
+def _cluster_key(cluster) -> Dict[str, Any]:
+    """Canonical description of a cluster: processors + interconnect model."""
+    model = cluster.bandwidth_model
+    model_key: Dict[str, Any] = {"type": type(model).__name__}
+    for attr, value in sorted(vars(model).items()):
+        model_key[attr] = value if isinstance(value, (int, float, str)) \
+            else repr(value)
+    return {
+        "name": cluster.name,
+        "processors": [[p.name, p.speed, p.memory, p.kind]
+                       for p in cluster.processors],
+        "bandwidth": model_key,
+    }
+
+
+def _config_key(config) -> Any:
+    """Canonical description of an algorithm config (None, dataclass, dict)."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        fields = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        fields = dict(config)
+    else:
+        fields = {"repr": repr(config)}
+    return {"type": type(config).__name__,
+            "fields": json.loads(json.dumps(fields, sort_keys=True, default=repr))}
+
+
+def request_fingerprint(request: ScheduleRequest) -> str:
+    """Stable hex digest identifying the computation a request describes."""
+    payload = {
+        "workflow": _workflow_key(request.workflow),
+        "cluster": _cluster_key(request.cluster),
+        "algorithm": canonical_name(request.algorithm),
+        "config": _config_key(request.config),
+        "scale_memory": bool(request.scale_memory),
+        "validate": bool(request.validate),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Append-only JSONL cache of :class:`ScheduleResult` envelopes.
+
+    >>> cache = ResultCache("results-cache/")
+    >>> for result in iter_solve_batch(requests, cache=cache):  # doctest: +SKIP
+    ...     ...
+    >>> cache.hits, cache.misses  # doctest: +SKIP
+
+    One process appends at a time (results are written from the batch
+    parent, not from workers); re-opening the same directory later — or
+    after a crash — picks up every complete line.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, CACHE_FILENAME)
+        #: fingerprint -> byte offset of its line (payloads stay on disk)
+        self._offsets: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+        self._fh = None  # append handle (binary), opened on first put
+        self._rfh = None  # read handle (binary), opened on first hit
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            offset = 0
+            for line in fh:
+                entry = self._parse(line)
+                if entry is not None:
+                    self._offsets[entry["fp"]] = offset
+                offset += len(line)
+
+    @staticmethod
+    def _parse(line: bytes) -> Optional[Dict[str, Any]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            entry = json.loads(line.decode("utf-8"))
+            entry["fp"], entry["result"]
+            return entry
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            # a truncated/corrupt line (crashed writer); skip it — the
+            # result will simply be recomputed and re-appended
+            return None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._offsets
+
+    def fingerprint(self, request: ScheduleRequest) -> str:
+        return request_fingerprint(request)
+
+    def get(self, fingerprint: str,
+            request: Optional[ScheduleRequest] = None) -> Optional[ScheduleResult]:
+        """The stored result, retagged with the incoming request's tags."""
+        offset = self._offsets.get(fingerprint)
+        if offset is None:
+            self.misses += 1
+            return None
+        if self._rfh is None:
+            self._rfh = open(self.path, "rb")
+        self._rfh.seek(offset)
+        entry = self._parse(self._rfh.readline())
+        if entry is None:  # defensive: index said yes, disk disagrees
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = ScheduleResult.from_dict(entry["result"])
+        if request is not None:
+            result = dataclasses.replace(result, tags=dict(request.tags))
+        return result
+
+    def put(self, fingerprint: str, result: ScheduleResult) -> None:
+        """Record a freshly computed result; flushed line-by-line."""
+        if fingerprint in self._offsets:
+            return
+        if self._fh is None:
+            # if a previous writer crashed mid-line, terminate the torn
+            # fragment so the new entry starts on its own line
+            torn = False
+            if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+                with open(self.path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    torn = fh.read(1) != b"\n"
+            self._fh = open(self.path, "ab")
+            if torn:
+                self._fh.write(b"\n")
+        line = json.dumps({"fp": fingerprint, "result": result.to_dict()},
+                          sort_keys=True).encode("utf-8") + b"\n"
+        self._fh.flush()
+        # O_APPEND writes land at the true end of file, which is where
+        # the new line's offset is (single-writer contract)
+        self._offsets[fingerprint] = os.fstat(self._fh.fileno()).st_size
+        self._fh.write(line)
+        self._fh.flush()
+
+    def close(self) -> None:
+        for handle in (self._fh, self._rfh):
+            if handle is not None:
+                handle.close()
+        self._fh = self._rfh = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for summaries: stored entries, hits, misses."""
+        return {"entries": len(self._offsets),
+                "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,525 @@
+"""Declarative scenarios: one JSON spec → request grid → streamed results.
+
+A :class:`ScenarioSpec` names an experiment the way the paper's evaluation
+does — a cross-product of workflow sources (generator-family grids,
+real-world models, workflow files), platform axes (cluster presets swept
+over bandwidths and memory scalings), and an algorithm grid with
+per-algorithm configs. The spec is frozen and JSON-round-trippable
+(:meth:`ScenarioSpec.to_json` / :meth:`ScenarioSpec.from_json`), so every
+workload is a file, not a Python driver:
+
+>>> spec = ScenarioSpec(
+...     name="bandwidth-study",
+...     workflows=(FamilyGridSource(families=("bwa", "soykb"),
+...                                 sizes=(300,), seed=5),),
+...     platforms=(PlatformAxis(preset="default",
+...                             bandwidths=(0.1, 0.5, 1.0, 2.0, 5.0)),),
+...     algorithms=(AlgorithmSpec("daghetmem"),
+...                 AlgorithmSpec("daghetpart",
+...                               config={"k_prime_strategy": "doubling"})),
+... )
+>>> for result in run_scenario(spec):  # doctest: +SKIP
+...     ...
+
+:func:`expand` lazily compiles the cross-product into tagged
+:class:`~repro.api.envelopes.ScheduleRequest` envelopes — workflows are
+generated one at a time, so the grid is never materialised.
+:func:`run_scenario` streams the requests through
+:func:`~repro.api.batch.iter_solve_batch`, optionally consulting an
+on-disk :class:`~repro.api.cache.ResultCache` so re-runs and crashed
+sweeps resume instead of recompute.
+
+The expansion order is deterministic: workflow sources in spec order,
+instances in source order, then platforms × bandwidths × memory factors ×
+algorithms — with a single platform entry this is exactly the
+instance-major, algorithm-minor order of the classic corpus runner, so a
+scenario reproduces the figure drivers' records bit-for-bit (modulo the
+measured ``runtime``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping as TMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.batch import ProgressHook, iter_solve_batch
+from repro.api.cache import ResultCache
+from repro.api.envelopes import ScheduleRequest, ScheduleResult
+from repro.api.registry import get_algorithm
+
+
+def _tupled(value: Any) -> Any:
+    """Recursively turn JSON lists into tuples (frozen-spec hygiene)."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
+def _listed(value: Any) -> Any:
+    """Recursively turn tuples into JSON lists (serialization hygiene)."""
+    if isinstance(value, tuple):
+        return [_listed(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Workflow sources
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FamilyGridSource:
+    """A grid of synthetic workflows: families × sizes × replications.
+
+    ``families=None`` means every generator family; ``sizes=None`` resolves
+    the corpus sizes (``REPRO_FULL``/``REPRO_SCALE``-aware) at expansion
+    time, a mapping is per-category task counts, and a plain sequence of
+    ints becomes the single category ``"custom"``. Per-instance seeds are
+    derived exactly as the evaluation corpus derives them
+    (``seed + stable_hash(f"{family}:{n}")``); ``replications > 1`` adds
+    shifted-seed repeats whose instance names carry a ``#r<i>`` suffix.
+    """
+
+    kind = "families"
+
+    families: Optional[Tuple[str, ...]] = None
+    sizes: Optional[Any] = None  # None | {category: (n, ...)} | (n, ...)
+    seed: int = 0
+    replications: int = 1
+    work_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.families is not None:
+            object.__setattr__(self, "families", tuple(self.families))
+        sizes = self.sizes
+        if sizes is not None:
+            if isinstance(sizes, TMapping):
+                sizes = {str(cat): tuple(int(n) for n in counts)
+                         for cat, counts in sizes.items()}
+            else:
+                sizes = {"custom": tuple(int(n) for n in sizes)}
+            object.__setattr__(self, "sizes", sizes)
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications}")
+
+    def resolved_sizes(self) -> Dict[str, Tuple[int, ...]]:
+        if self.sizes is not None:
+            return dict(self.sizes)
+        from repro.experiments.instances import synthetic_sizes
+        return synthetic_sizes()
+
+    def resolved_families(self) -> Tuple[str, ...]:
+        if self.families is not None:
+            return self.families
+        from repro.generators.families import WORKFLOW_FAMILIES
+        return tuple(WORKFLOW_FAMILIES)
+
+    def count(self) -> int:
+        n_sizes = sum(len(c) for c in self.resolved_sizes().values())
+        return len(self.resolved_families()) * n_sizes * self.replications
+
+    def instances(self) -> Iterator["Instance"]:
+        from repro.experiments.instances import Instance, seed_base
+        from repro.generators.families import generate_workflow
+        from repro.utils.rng import stable_hash
+
+        base = seed_base(self.seed)
+        sizes = self.resolved_sizes()
+        for rep in range(self.replications):
+            suffix = "" if rep == 0 else f"#r{rep}"
+            for family in self.resolved_families():
+                for category, counts in sizes.items():
+                    for n in counts:
+                        inst_seed = (base + rep
+                                     + stable_hash(f"{family}:{n}")) % (2 ** 31)
+                        wf = generate_workflow(family, n, seed=inst_seed,
+                                               work_factor=self.work_factor)
+                        yield Instance(name=f"{family}-{n}{suffix}",
+                                       family=family, category=category,
+                                       n_tasks_requested=n, workflow=wf)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "families": _listed(self.families),
+                "sizes": None if self.sizes is None else
+                {cat: list(counts) for cat, counts in self.sizes.items()},
+                "seed": self.seed,
+                "replications": self.replications,
+                "work_factor": self.work_factor}
+
+
+@dataclass(frozen=True)
+class RealWorkflowSource:
+    """The real-world-like workflow models (``names=None`` = all five)."""
+
+    kind = "real"
+
+    names: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+    work_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.names is not None:
+            object.__setattr__(self, "names", tuple(self.names))
+
+    def resolved_names(self) -> Tuple[str, ...]:
+        if self.names is not None:
+            return self.names
+        from repro.generators.realworld import REAL_WORKFLOW_NAMES
+        return tuple(REAL_WORKFLOW_NAMES)
+
+    def count(self) -> int:
+        return len(self.resolved_names())
+
+    def instances(self) -> Iterator["Instance"]:
+        from repro.experiments.instances import Instance
+        from repro.generators.realworld import generate_real_workflow
+
+        for name in self.resolved_names():
+            yield Instance(
+                name=name, family=name, category="real", n_tasks_requested=0,
+                workflow=generate_real_workflow(name, seed=self.seed,
+                                                work_factor=self.work_factor))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "names": _listed(self.names),
+                "seed": self.seed, "work_factor": self.work_factor}
+
+
+@dataclass(frozen=True)
+class FileWorkflowSource:
+    """One workflow loaded from a ``.json`` or ``.dot`` file."""
+
+    kind = "file"
+
+    path: str = ""
+    category: str = "file"
+    family: Optional[str] = None  # defaults to the loaded workflow's name
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("FileWorkflowSource needs a path")
+
+    def count(self) -> int:
+        return 1
+
+    def instances(self) -> Iterator["Instance"]:
+        from repro.experiments.instances import Instance
+        from repro.workflow.io import load_workflow_json, workflow_from_dot
+
+        if self.path.endswith(".dot"):
+            with open(self.path) as fh:
+                wf = workflow_from_dot(fh.read(), name=self.path)
+        else:
+            wf = load_workflow_json(self.path)
+        yield Instance(name=wf.name, family=self.family or wf.name,
+                       category=self.category, n_tasks_requested=wf.n_tasks,
+                       workflow=wf)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "path": self.path,
+                "category": self.category, "family": self.family}
+
+
+WorkflowSource = Union[FamilyGridSource, RealWorkflowSource, FileWorkflowSource]
+
+_SOURCE_KINDS = {cls.kind: cls for cls in
+                 (FamilyGridSource, RealWorkflowSource, FileWorkflowSource)}
+
+
+def source_from_dict(data: TMapping[str, Any]) -> WorkflowSource:
+    """Rebuild a workflow source from its ``to_dict`` form."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = _SOURCE_KINDS.get(kind)
+    if cls is None:
+        valid = ", ".join(sorted(_SOURCE_KINDS))
+        raise ValueError(f"unknown workflow source kind {kind!r}; valid: {valid}")
+    return cls(**{k: _tupled(v) for k, v in data.items()})
+
+
+# ----------------------------------------------------------------------
+# Platform and algorithm axes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlatformAxis:
+    """One cluster preset swept over bandwidths and memory scalings.
+
+    ``memory_factors`` multiply every processor memory (1.0 = the preset
+    as-is), giving the "how much memory would we need" sweep; the paper's
+    proportional per-workflow scaling rule is the separate, spec-level
+    ``scale_memory`` knob.
+    """
+
+    preset: str = "default"
+    bandwidths: Tuple[float, ...] = (1.0,)
+    memory_factors: Tuple[float, ...] = (1.0,)
+
+    def __post_init__(self):
+        object.__setattr__(self, "bandwidths",
+                           tuple(float(b) for b in self.bandwidths))
+        object.__setattr__(self, "memory_factors",
+                           tuple(float(f) for f in self.memory_factors))
+        if not self.bandwidths or not self.memory_factors:
+            raise ValueError("bandwidths and memory_factors must be non-empty")
+
+    def count(self) -> int:
+        return len(self.bandwidths) * len(self.memory_factors)
+
+    def clusters(self) -> Iterator[Tuple["Cluster", float, float]]:
+        """(cluster, bandwidth, memory_factor) for every axis point."""
+        from repro.platform.presets import cluster_by_name
+
+        for beta in self.bandwidths:
+            base = cluster_by_name(self.preset, bandwidth=beta)
+            for factor in self.memory_factors:
+                cluster = base if factor == 1.0 else base.scaled_memories(factor)
+                yield cluster, beta, factor
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"preset": self.preset, "bandwidths": list(self.bandwidths),
+                "memory_factors": list(self.memory_factors)}
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One algorithm of the grid, with its (JSON) config fields.
+
+    ``config`` may be given as the algorithm's config dataclass instance —
+    it is normalised to a plain field dict so the spec stays serializable;
+    at expansion time the dict is instantiated back through the registry's
+    ``config_cls``.
+    """
+
+    name: str = "daghetpart"
+    config: Optional[TMapping[str, Any]] = None
+
+    def __post_init__(self):
+        config = self.config
+        if config is not None:
+            if dataclasses.is_dataclass(config) and not isinstance(config, type):
+                config = dataclasses.asdict(config)
+            config = {str(k): _listed(v) for k, v in dict(config).items()}
+            object.__setattr__(self, "config", config)
+
+    def build_config(self) -> Optional[Any]:
+        info = get_algorithm(self.name)  # raises on unknown names
+        if self.config is None:
+            return None
+        if info.config_cls is None:
+            raise ValueError(
+                f"algorithm {self.name!r} takes no config, but the scenario "
+                f"provides one: {dict(self.config)!r}")
+        return info.config_cls(**{k: _tupled(v) for k, v in self.config.items()})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "config": None if self.config is None else dict(self.config)}
+
+
+#: the paper's algorithm pairing — the default grid
+DEFAULT_ALGORITHMS = (AlgorithmSpec("daghetmem"), AlgorithmSpec("daghetpart"))
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, frozen description of one experiment sweep.
+
+    ``tags`` are templates: every string value is ``str.format``-ted per
+    request with the expansion context (``scenario``, ``instance``,
+    ``family``, ``category``, ``n_tasks``, ``preset``, ``bandwidth``,
+    ``memory_factor``, ``algorithm``), so ``{"series": "{family}@{bandwidth}"}``
+    labels each result without a Python driver. Non-string values pass
+    through untouched.
+    """
+
+    name: str
+    workflows: Tuple[WorkflowSource, ...]
+    platforms: Tuple[PlatformAxis, ...] = (PlatformAxis(),)
+    algorithms: Tuple[AlgorithmSpec, ...] = DEFAULT_ALGORITHMS
+    tags: TMapping[str, Any] = field(default_factory=dict)
+    scale_memory: bool = True
+    validate: bool = False
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.workflows:
+            raise ValueError("a scenario needs at least one workflow source")
+        object.__setattr__(self, "workflows", tuple(self.workflows))
+        object.__setattr__(self, "platforms", tuple(self.platforms))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        if not self.platforms:
+            raise ValueError("a scenario needs at least one platform axis")
+        if not self.algorithms:
+            raise ValueError("a scenario needs at least one algorithm")
+
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of requests :func:`expand` will yield (cheap; no workflows
+        are generated)."""
+        instances = sum(src.count() for src in self.workflows)
+        platform_points = sum(axis.count() for axis in self.platforms)
+        return instances * platform_points * len(self.algorithms)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "workflows": [src.to_dict() for src in self.workflows],
+            "platforms": [axis.to_dict() for axis in self.platforms],
+            "algorithms": [alg.to_dict() for alg in self.algorithms],
+            "tags": dict(self.tags),
+            "scale_memory": self.scale_memory,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            workflows=tuple(source_from_dict(s) for s in data["workflows"]),
+            platforms=tuple(PlatformAxis(**{k: _tupled(v) for k, v in p.items()})
+                            for p in data.get("platforms", [{}])),
+            algorithms=tuple(AlgorithmSpec(**{k: _tupled(v) if k != "config" else v
+                                              for k, v in a.items()})
+                             for a in data.get("algorithms",
+                                               [{"name": "daghetmem"},
+                                                {"name": "daghetpart"}])),
+            tags=dict(data.get("tags", {})),
+            scale_memory=bool(data.get("scale_memory", True)),
+            validate=bool(data.get("validate", False)),
+        )
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def save_scenario(spec: ScenarioSpec, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(spec.to_json() + "\n")
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    with open(path, "r", encoding="utf-8") as fh:
+        return ScenarioSpec.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Expansion and execution
+# ----------------------------------------------------------------------
+def _format_tags(templates: TMapping[str, Any],
+                 context: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in templates.items():
+        if isinstance(value, str):
+            try:
+                out[key] = value.format(**context)
+            except KeyError as exc:
+                valid = ", ".join(sorted(context))
+                raise KeyError(
+                    f"tag template {key!r} = {value!r} references unknown "
+                    f"field {exc.args[0]!r}; available: {valid}") from None
+        else:
+            out[key] = value
+    return out
+
+
+def expand(spec: ScenarioSpec) -> Iterator[ScheduleRequest]:
+    """Lazily compile the spec's cross-product into tagged requests.
+
+    Workflows are generated one instance at a time and shared across the
+    platform × algorithm inner grid; nothing is accumulated, so the
+    iterator runs at constant memory regardless of grid size.
+    """
+    # resolve the algorithm grid and platform points once (also validates
+    # names/presets eagerly, before any workflow is generated)
+    algorithms = [(alg, get_algorithm(alg.name).display_name,
+                   alg.build_config())
+                  for alg in spec.algorithms]
+    platforms = [(axis, tuple(axis.clusters())) for axis in spec.platforms]
+    for source in spec.workflows:
+        for inst in source.instances():
+            for axis, points in platforms:
+                for cluster, beta, factor in points:
+                    for alg, display_name, config in algorithms:
+                        context = {
+                            "scenario": spec.name,
+                            "instance": inst.name,
+                            "family": inst.family,
+                            "category": inst.category,
+                            "n_tasks": inst.n_tasks,
+                            "preset": axis.preset,
+                            "bandwidth": beta,
+                            "memory_factor": factor,
+                            # display name, matching ScheduleResult.algorithm
+                            "algorithm": display_name,
+                        }
+                        tags = {"instance": inst.name, "family": inst.family,
+                                "category": inst.category,
+                                "n_tasks": inst.n_tasks}
+                        tags.update(_format_tags(spec.tags, context))
+                        yield ScheduleRequest(
+                            workflow=inst.workflow,
+                            cluster=cluster,
+                            algorithm=alg.name,
+                            config=config,
+                            scale_memory=spec.scale_memory,
+                            validate=spec.validate,
+                            want_mapping=False,
+                            tags=tags,
+                        )
+
+
+def run_scenario(spec: ScenarioSpec,
+                 parallel: Optional[int] = None,
+                 cache: Union[None, str, ResultCache] = None,
+                 progress: Optional[ProgressHook] = None,
+                 window: Optional[int] = None) -> Iterator[ScheduleResult]:
+    """Stream the scenario's results in expansion order.
+
+    ``cache`` is a directory path or an open
+    :class:`~repro.api.cache.ResultCache`; previously computed requests
+    are served from it without a ``solve`` call, and fresh results are
+    appended as they complete, so an interrupted sweep resumes for free.
+    ``parallel``/``progress``/``window`` behave as in
+    :func:`~repro.api.batch.iter_solve_batch`.
+    """
+    own_cache = isinstance(cache, str)
+    store = ResultCache(cache) if own_cache else cache
+    try:
+        yield from iter_solve_batch(expand(spec), parallel=parallel,
+                                    progress=progress, cache=store,
+                                    window=window)
+    finally:
+        if own_cache:
+            store.close()
+
+
+def collect_scenario(spec: ScenarioSpec,
+                     parallel: Optional[int] = None,
+                     cache: Union[None, str, ResultCache] = None,
+                     progress: Optional[ProgressHook] = None) -> List[ScheduleResult]:
+    """:func:`run_scenario`, materialised (small grids / tests)."""
+    return list(run_scenario(spec, parallel=parallel, cache=cache,
+                             progress=progress))

@@ -1,19 +1,24 @@
-"""The paper's two algorithms, registered as pluggable schedulers.
+"""The built-in algorithms, registered as pluggable schedulers.
 
 Importing :mod:`repro.api` loads this module, which populates the registry
-with ``daghetmem`` (Section 4.1 baseline) and ``daghetpart`` (Section 4.2
-four-step heuristic). Third-party algorithms register the same way; see
+with ``daghetmem`` (Section 4.1 baseline), ``daghetpart`` (Section 4.2
+four-step heuristic), and ``heftlist`` — a memory-oblivious HEFT-style
+list scheduler that bounds how much the memory constraint costs.
+Third-party algorithms register the same way; see
 :func:`repro.api.registry.register_algorithm`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.api.envelopes import SchedulerOutput
 from repro.api.registry import register_algorithm
 from repro.core.baseline import dag_het_mem
 from repro.core.heuristic import DagHetPartConfig, dag_het_part_sweep
+from repro.core.mapping import BlockAssignment, Mapping
+from repro.memdag.requirement import RequirementCache
 from repro.platform.cluster import Cluster
 from repro.workflow.graph import Workflow
 
@@ -50,3 +55,125 @@ class DagHetPartScheduler:
         return SchedulerOutput(mapping=outcome.mapping,
                                k_prime=outcome.k_prime,
                                sweep=outcome.sweep)
+
+
+def _upward_ranks(wf: Workflow, avg_speed: float, beta: float) -> Dict[Hashable, float]:
+    """HEFT upward ranks with mean execution cost and the default bandwidth."""
+    ranks: Dict[Hashable, float] = {}
+    for u in reversed(wf.topological_order()):
+        best_child = 0.0
+        for v, c in wf.out_edges(u):
+            cand = c / beta + ranks[v]
+            if cand > best_child:
+                best_child = cand
+        ranks[u] = wf.work(u) / avg_speed + best_child
+    return ranks
+
+
+def _rank_order(wf: Workflow, ranks: Dict[Hashable, float]) -> List[Hashable]:
+    """Decreasing-rank list order, kept topological by Kahn with a max-heap.
+
+    With positive work weights HEFT's plain sort by decreasing rank is
+    already topological; running it through Kahn makes the order valid for
+    zero-work tasks too, with ties broken by insertion order so the
+    result is deterministic.
+    """
+    sequence = {u: i for i, u in enumerate(wf.tasks())}
+    indeg = {u: wf.in_degree(u) for u in wf.tasks()}
+    heap = [(-ranks[u], sequence[u], u) for u in wf.tasks() if indeg[u] == 0]
+    heapq.heapify(heap)
+    order: List[Hashable] = []
+    while heap:
+        _, _, u = heapq.heappop(heap)
+        order.append(u)
+        for v in wf.children(u):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                heapq.heappush(heap, (-ranks[v], sequence[v], v))
+    return order
+
+
+@register_algorithm(
+    "heftlist", display_name="HeftList",
+    capabilities=("baseline", "memory-oblivious", "list-scheduler"),
+    summary="HEFT-style memory-oblivious list scheduler: upward-rank "
+            "priority order, contiguous work-balanced blocks, greedy "
+            "earliest-finish-time processor selection; bounds how much "
+            "the memory constraint costs")
+class HeftListScheduler:
+    """The classic third baseline — list scheduling without memory awareness.
+
+    Tasks are ordered by decreasing HEFT upward rank, the order is cut
+    into at most ``k`` contiguous, work-balanced blocks (contiguity in a
+    topological order keeps the quotient graph acyclic, so the block
+    makespan model of Section 3.3 applies), and each block is placed on
+    the distinct processor minimizing its finish time. Memory plays no
+    role in any decision, so the schedule never fails for lack of memory
+    — its makespan bounds what the memory constraint costs DagHetPart.
+    """
+
+    def run(self, workflow: Workflow, cluster: Cluster,
+            config: Optional[object] = None) -> SchedulerOutput:
+        if workflow.n_tasks == 0:
+            return SchedulerOutput(
+                mapping=Mapping(workflow, cluster, [], algorithm="HeftList"))
+
+        procs = cluster.processors
+        avg_speed = sum(p.speed for p in procs) / len(procs)
+        beta = cluster.bandwidth_model.default
+        ranks = _upward_ranks(workflow, avg_speed, beta)
+        order = _rank_order(workflow, ranks)
+
+        # cut the priority order into <= k contiguous, work-balanced blocks
+        n_blocks = min(cluster.k, workflow.n_tasks)
+        total_work = workflow.total_work()
+        target = total_work / n_blocks if total_work > 0 else 0.0
+        segments: List[List[Hashable]] = [[]]
+        acc = 0.0
+        for u in order:
+            if (segments[-1] and acc >= target * len(segments)
+                    and len(segments) < n_blocks):
+                segments.append([])
+            segments[-1].append(u)
+            acc += workflow.work(u)
+
+        seg_of = {u: i for i, seg in enumerate(segments) for u in seg}
+        seg_work = [sum(workflow.work(u) for u in seg) for seg in segments]
+        cut_cost: Dict[Tuple[int, int], float] = {}
+        for u, v, c in workflow.edges():
+            su, sv = seg_of[u], seg_of[v]
+            if su != sv:
+                cut_cost[(su, sv)] = cut_cost.get((su, sv), 0.0) + c
+
+        # greedy earliest-finish-time placement, one distinct processor
+        # per block, in block (priority) order
+        chosen: List = []
+        finish: List[float] = []
+        available = list(procs)
+        for i, _ in enumerate(segments):
+            preds = [(j, cost) for (j, k2), cost in cut_cost.items() if k2 == i]
+            best = None
+            for p in available:
+                ready = 0.0
+                for j, cost in preds:
+                    arrival = finish[j] + cost / cluster.link_bandwidth(chosen[j], p)
+                    if arrival > ready:
+                        ready = arrival
+                eft = ready + seg_work[i] / p.speed
+                key = (eft, -p.speed, p.name)
+                if best is None or key < best[0]:
+                    best = (key, p)
+            proc = best[1]
+            available.remove(proc)
+            chosen.append(proc)
+            finish.append(best[0][0])
+
+        cache = RequirementCache(workflow)
+        assignments = []
+        for seg, proc in zip(segments, chosen):
+            result = cache.requirement(seg)
+            assignments.append(BlockAssignment(
+                tasks=frozenset(seg), processor=proc,
+                requirement=result.peak, traversal=result.order))
+        return SchedulerOutput(
+            mapping=Mapping(workflow, cluster, assignments, algorithm="HeftList"))

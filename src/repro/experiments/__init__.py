@@ -16,6 +16,7 @@
 
 from repro.experiments.instances import (
     Instance,
+    PAPER_SCENARIO,
     build_corpus,
     real_instances,
     synthetic_instances,
@@ -23,7 +24,12 @@ from repro.experiments.instances import (
     scaled_cluster_for,
     SIZE_CATEGORIES,
 )
-from repro.experiments.runner import RunRecord, run_instance, run_corpus
+from repro.experiments.runner import (
+    RunRecord,
+    run_instance,
+    run_corpus,
+    scenario_records,
+)
 from repro.experiments.metrics import (
     geometric_mean,
     relative_makespan_by,
@@ -34,6 +40,7 @@ from repro.experiments.report import format_table
 
 __all__ = [
     "Instance",
+    "PAPER_SCENARIO",
     "build_corpus",
     "real_instances",
     "synthetic_instances",
@@ -43,6 +50,7 @@ __all__ = [
     "RunRecord",
     "run_instance",
     "run_corpus",
+    "scenario_records",
     "geometric_mean",
     "relative_makespan_by",
     "aggregate_by",

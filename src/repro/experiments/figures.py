@@ -7,48 +7,90 @@ per-run data. Corpus size is controlled by the same knobs everywhere
 (``seed``, ``full``, ``families``, ``sizes``) so the benchmarks can run
 reduced corpora while ``REPRO_FULL=1`` reproduces the paper's scale.
 
-Execution goes through :mod:`repro.api` (via the corpus adapter in
-:mod:`repro.experiments.runner`), so records carry structured failure
-reasons and the winning ``k'`` per run; :func:`failure_report` turns the
-former into a table of its own.
+Every driver is now a thin aggregation over a declarative
+:class:`~repro.api.ScenarioSpec` (:func:`corpus_scenario` builds the spec,
+:func:`repro.experiments.runner.scenario_records` streams it through
+``repro.api``), so records carry structured failure reasons and the
+winning ``k'`` per run; :func:`failure_report` turns the former into a
+table of its own, and any figure's workload can be exported as a JSON
+spec and re-run — cached and resumable — with ``repro scenario run``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import (
+    AlgorithmSpec,
+    FamilyGridSource,
+    PlatformAxis,
+    RealWorkflowSource,
+    ScenarioSpec,
+    get_algorithm,
+)
 from repro.core.heuristic import DagHetPartConfig
-from repro.experiments.instances import SIZE_CATEGORIES, build_corpus
+from repro.experiments.instances import SIZE_CATEGORIES, synthetic_sizes
 from repro.experiments.metrics import (
     aggregate_by,
     makespan_ratios,
     relative_makespan_by,
     success_counts,
 )
-from repro.experiments.runner import RunRecord, run_corpus
+from repro.experiments.runner import ALGORITHMS, RunRecord, scenario_records
 from repro.platform.presets import (
     MACHINE_KINDS,
     MACHINE_KINDS_LESSHET,
     MACHINE_KINDS_MOREHET,
-    default_cluster,
-    large_cluster,
-    lesshet_cluster,
-    morehet_cluster,
-    nohet_cluster,
-    small_cluster,
+    cluster_by_name,
 )
 
 _CAT_ORDER = {cat: i for i, cat in enumerate(SIZE_CATEGORIES)}
 
 
-def _records(cluster, seed=0, full=None, families=None, sizes=None,
+def corpus_scenario(name: str, preset: str = "default", bandwidth: float = 1.0,
+                    seed=0, full=None, families=None, sizes=None,
+                    include_real: bool = True, work_factor: float = 1.0,
+                    config: Optional[DagHetPartConfig] = None,
+                    algorithms: Sequence[str] = ALGORITHMS) -> ScenarioSpec:
+    """The classic corpus sweep (Section 5.1.1 corpus on one cluster) as a
+    declarative scenario.
+
+    Expansion order matches the old ``build_corpus`` + ``run_corpus``
+    pipeline exactly (real workflows first, then the family grid,
+    instance-major / algorithm-minor), so the records a figure driver
+    aggregates are bit-for-bit those of the hand-written sweep. ``config``
+    is attached to every algorithm that declares a config class.
+    """
+    sources: List = []
+    if include_real:
+        sources.append(RealWorkflowSource(seed=seed, work_factor=work_factor))
+    sources.append(FamilyGridSource(
+        families=None if families is None else tuple(families),
+        sizes=sizes if sizes is not None else synthetic_sizes(full),
+        seed=seed, work_factor=work_factor))
+    return ScenarioSpec(
+        name=name,
+        workflows=tuple(sources),
+        platforms=(PlatformAxis(preset=preset, bandwidths=(bandwidth,)),),
+        algorithms=tuple(
+            AlgorithmSpec(alg, config=config
+                          if get_algorithm(alg).config_cls is not None else None)
+            for alg in algorithms),
+        scale_memory=True,
+    )
+
+
+def _records(preset, seed=0, full=None, families=None, sizes=None,
              include_real=True, config=None, work_factor=1.0,
-             progress=None, parallel=None) -> List[RunRecord]:
-    corpus = build_corpus(seed=seed, full=full, families=families,
-                          include_real=include_real, sizes=sizes,
-                          work_factor=work_factor)
-    return run_corpus(corpus, cluster, config=config, progress=progress,
-                      parallel=parallel)
+             progress=None, parallel=None, bandwidth=1.0,
+             algorithms: Sequence[str] = ALGORITHMS) -> List[RunRecord]:
+    spec = corpus_scenario(f"corpus-{preset}", preset=preset,
+                           bandwidth=bandwidth, seed=seed, full=full,
+                           families=families, sizes=sizes,
+                           include_real=include_real,
+                           work_factor=work_factor, config=config,
+                           algorithms=algorithms)
+    return scenario_records(spec, parallel=parallel, progress=progress)
 
 
 # ----------------------------------------------------------------------
@@ -78,7 +120,7 @@ def fig3_left(seed=0, full=None, families=None, sizes=None,
               config: Optional[DagHetPartConfig] = None,
               progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan (%) of DagHetPart vs DagHetMem per workflow type."""
-    records = _records(default_cluster(), seed=seed, full=full,
+    records = _records("default", seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
                        progress=progress, parallel=parallel)
     rel = relative_makespan_by(records, key=lambda r: r.category)
@@ -99,14 +141,15 @@ def fig3_right(seed=0, full=None, families=None, sizes=None,
     """Relative makespan (%) across small/default/large clusters (18/36/60)."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
-    for cluster in (small_cluster(), default_cluster(), large_cluster()):
-        records = _records(cluster, seed=seed, full=full, families=families,
+    for preset in ("small", "default", "large"):
+        records = _records(preset, seed=seed, full=full, families=families,
                            sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel = relative_makespan_by(records, key=lambda r: r.category)
+        n_cpus = cluster_by_name(preset).k
         for cat in SIZE_CATEGORIES:
             if cat in rel:
-                rows.append({"n_cpus": cluster.k, "workflow_type": cat,
+                rows.append({"n_cpus": n_cpus, "workflow_type": cat,
                              "relative_makespan_pct": rel[cat]})
     rows.sort(key=lambda r: (r["n_cpus"], _CAT_ORDER[r["workflow_type"]]))
     return {"rows": rows, "records": all_records}
@@ -121,9 +164,8 @@ def fig4(seed=0, full=None, families=None, sizes=None,
     """NoHet / LessHet / default / MoreHet: relative and absolute makespan."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
-    for label, cluster in (("nohet", nohet_cluster()), ("lesshet", lesshet_cluster()),
-                           ("default", default_cluster()), ("morehet", morehet_cluster())):
-        records = _records(cluster, seed=seed, full=full, families=families,
+    for label in ("nohet", "lesshet", "default", "morehet"):
+        records = _records(label, seed=seed, full=full, families=families,
                            sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
         rel = relative_makespan_by(records, key=lambda r: r.category)
@@ -145,7 +187,7 @@ def fig5(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
          progress=None, parallel=None) -> Dict[str, List]:
     """Relative makespan per workflow family as a function of size."""
-    records = _records(default_cluster(), seed=seed, full=full,
+    records = _records("default", seed=seed, full=full,
                        families=families, sizes=sizes, include_real=False,
                        config=config, progress=progress, parallel=parallel)
     rows = [
@@ -161,7 +203,7 @@ def fig6(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
          progress=None, parallel=None) -> Dict[str, List]:
     """Absolute DagHetPart makespan per family as a function of size."""
-    records = _records(default_cluster(), seed=seed, full=full,
+    records = _records("default", seed=seed, full=full,
                        families=families, sizes=sizes, include_real=False,
                        config=config, progress=progress, parallel=parallel)
     rows = [
@@ -183,7 +225,7 @@ def fig7(betas: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 5.0),
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
     for beta in betas:
-        records = _records(default_cluster(bandwidth=beta), seed=seed,
+        records = _records("default", bandwidth=beta, seed=seed,
                            full=full, families=families, sizes=sizes,
                            config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
@@ -203,7 +245,7 @@ def fig8(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
          progress=None, parallel=None) -> Dict[str, List]:
     """Per-workflow running time of DagHetPart relative to DagHetMem."""
-    records = _records(default_cluster(), seed=seed, full=full,
+    records = _records("default", seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
                        progress=progress, parallel=parallel)
     by_instance: Dict[str, Dict[str, RunRecord]] = {}
@@ -224,7 +266,7 @@ def fig9(seed=0, full=None, families=None, sizes=None,
          config: Optional[DagHetPartConfig] = None,
          progress=None, parallel=None) -> Dict[str, List]:
     """Absolute running time of DagHetPart by workflow type (log-scale plot)."""
-    records = _records(default_cluster(), seed=seed, full=full,
+    records = _records("default", seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
                        progress=progress, parallel=parallel)
     rows = [
@@ -277,12 +319,13 @@ def success_counts_experiment(seed=0, full=None, families=None, sizes=None,
     """How many workflows each algorithm schedules on each cluster size."""
     rows: List[Dict] = []
     all_records: List[RunRecord] = []
-    for cluster in (small_cluster(), default_cluster(), large_cluster()):
-        records = _records(cluster, seed=seed, full=full, families=families,
+    for preset in ("small", "default", "large"):
+        records = _records(preset, seed=seed, full=full, families=families,
                            sizes=sizes, config=config, progress=progress, parallel=parallel)
         all_records.extend(records)
+        cluster_name = cluster_by_name(preset).name
         for (cat, alg), (ok, total) in sorted(success_counts(records).items()):
-            rows.append({"cluster": cluster.name, "workflow_type": cat,
+            rows.append({"cluster": cluster_name, "workflow_type": cat,
                          "algorithm": alg, "scheduled": ok, "total": total})
     return {"rows": rows, "records": all_records}
 
@@ -300,9 +343,10 @@ def failure_report(seed=0, full=None, families=None, sizes=None,
     counts down into *why* — the exception kind and message the runner
     used to discard.
     """
-    records = _records(small_cluster(), seed=seed, full=full,
+    records = _records("small", seed=seed, full=full,
                        families=families, sizes=sizes, config=config,
-                       progress=progress, parallel=parallel)
+                       progress=progress, parallel=parallel,
+                       algorithms=ALGORITHMS + ("HeftList",))
     rows = [
         {"instance": r.instance, "workflow_type": r.category,
          "algorithm": r.algorithm, "failure_reason": r.failure_reason}
@@ -317,6 +361,46 @@ def failure_report(seed=0, full=None, families=None, sizes=None,
 
 
 # ----------------------------------------------------------------------
+# HEFT baseline: what does the memory constraint cost?
+# ----------------------------------------------------------------------
+def heft_relative(seed=0, full=None, families=None, sizes=None,
+                  config: Optional[DagHetPartConfig] = None,
+                  progress=None, parallel=None) -> Dict[str, List]:
+    """Memory-aware algorithms vs the memory-oblivious HeftList baseline.
+
+    HeftList ignores memory entirely, so its makespan is what a classic
+    list scheduler achieves when the memory constraint is dropped; the
+    relative makespans (geometric mean, in %) of DagHetPart and DagHetMem
+    against it bound how much respecting memory costs on the default
+    cluster.
+    """
+    records = _records("default", seed=seed, full=full,
+                       families=families, sizes=sizes, config=config,
+                       progress=progress, parallel=parallel,
+                       algorithms=ALGORITHMS + ("HeftList",))
+    part = relative_makespan_by(records, key=lambda r: r.category,
+                                numerator="DagHetPart", denominator="HeftList")
+    mem = relative_makespan_by(records, key=lambda r: r.category,
+                               numerator="DagHetMem", denominator="HeftList")
+    rows = [
+        {"workflow_type": cat,
+         "daghetpart_vs_heft_pct": part[cat],
+         "daghetmem_vs_heft_pct": mem.get(cat, float("nan"))}
+        for cat in SIZE_CATEGORIES if cat in part
+    ]
+    overall = relative_makespan_by(records, key=lambda r: "all",
+                                   numerator="DagHetPart",
+                                   denominator="HeftList").get("all")
+    if overall is not None:
+        rows.append({"workflow_type": "all",
+                     "daghetpart_vs_heft_pct": overall,
+                     "daghetmem_vs_heft_pct": relative_makespan_by(
+                         records, key=lambda r: "all", numerator="DagHetMem",
+                         denominator="HeftList").get("all", float("nan"))})
+    return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
 # Section 5.2.4: four-times-bigger computational demands
 # ----------------------------------------------------------------------
 def demand4x(seed=0, full=None, families=None, sizes=None,
@@ -327,7 +411,7 @@ def demand4x(seed=0, full=None, families=None, sizes=None,
     all_records: List[RunRecord] = []
     rel_by_factor: Dict[float, Dict[str, float]] = {}
     for factor in (1.0, 4.0):
-        records = _records(default_cluster(), seed=seed, full=full,
+        records = _records("default", seed=seed, full=full,
                            families=families, sizes=sizes, config=config,
                            work_factor=factor, progress=progress, parallel=parallel)
         all_records.extend(records)

@@ -11,10 +11,18 @@ paper's sizes, or ``REPRO_SCALE=<divisor>`` for anything in between.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.scenario import (
+    AlgorithmSpec,
+    FamilyGridSource,
+    PlatformAxis,
+    RealWorkflowSource,
+    ScenarioSpec,
+)
 from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
 from repro.generators.realworld import REAL_WORKFLOW_NAMES, generate_real_workflow
 from repro.platform.cluster import Cluster
@@ -65,6 +73,28 @@ class Instance:
         return self.workflow.n_tasks
 
 
+def seed_base(seed: SeedLike) -> int:
+    """Normalize a corpus seed to the int the per-instance seeds build on.
+
+    ``None`` means 0; ints pass through; a ``numpy`` ``Generator`` is
+    reduced to a stable int derived from its bit-generator state (without
+    consuming the stream), so two generators in the same state produce
+    the same corpus. Anything else raises a clear ``TypeError`` instead
+    of being silently collapsed to 0.
+    """
+    if seed is None:
+        return 0
+    if hasattr(seed, "bit_generator"):  # numpy.random.Generator
+        state = json.dumps(seed.bit_generator.state, sort_keys=True, default=str)
+        return stable_hash(state) % (2 ** 31)
+    try:
+        return int(seed)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"corpus seed must be an int, None, or a numpy Generator, "
+            f"got {type(seed).__name__}") from None
+
+
 def synthetic_instances(seed: SeedLike = 0, full: Optional[bool] = None,
                         families: Optional[Sequence[str]] = None,
                         sizes: Optional[Dict[str, Tuple[int, ...]]] = None,
@@ -72,7 +102,7 @@ def synthetic_instances(seed: SeedLike = 0, full: Optional[bool] = None,
     """All synthetic instances: families x sizes, deterministic per (family, size)."""
     families = tuple(families) if families is not None else WORKFLOW_FAMILIES
     sizes = sizes if sizes is not None else synthetic_sizes(full)
-    base = int(seed) if seed is not None and not hasattr(seed, "integers") else 0
+    base = seed_base(seed)
     out: List[Instance] = []
     for family in families:
         for category, counts in sizes.items():
@@ -130,3 +160,38 @@ def scaled_cluster_for(wf: Workflow, cluster: Cluster,
     if peak <= cluster.max_memory():
         return cluster
     return cluster.scaled_memories(peak / cluster.max_memory() * headroom)
+
+
+#: The paper's evaluation grid (Section 5) as one declarative scenario:
+#: the complete corpus (five real workflows + every family at the corpus
+#: sizes — ``REPRO_FULL``/``REPRO_SCALE`` resolve at expansion time) on
+#: every cluster configuration of Sections 5.1.2/5.2, with the default
+#: cluster additionally swept over the Fig. 7 bandwidths, run with both
+#: paper algorithms under the "doubling" k' strategy. Figures 3-9 and the
+#: success/failure tables are aggregations over slices of this grid;
+#: ``repro scenario run`` with a cache directory executes it resumably.
+#: The one record set *not* in this grid is Section 5.2.4's 4x-demand
+#: variant — the same corpus with ``work_factor=4.0`` on the default
+#: cluster only (``figures.corpus_scenario("demand4x", work_factor=4.0)``
+#: builds it, and ``scripts/run_all_experiments.py`` runs it alongside).
+PAPER_SCENARIO = ScenarioSpec(
+    name="icpp24-kulagina-evaluation",
+    description="Full ICPP'24 evaluation grid: corpus x clusters x "
+                "bandwidths x {DagHetMem, DagHetPart}",
+    workflows=(RealWorkflowSource(seed=0),
+               FamilyGridSource(seed=0)),
+    platforms=(
+        PlatformAxis(preset="small"),
+        PlatformAxis(preset="default", bandwidths=(0.1, 0.5, 1.0, 2.0, 5.0)),
+        PlatformAxis(preset="large"),
+        PlatformAxis(preset="nohet"),
+        PlatformAxis(preset="lesshet"),
+        PlatformAxis(preset="morehet"),
+    ),
+    algorithms=(
+        AlgorithmSpec("daghetmem"),
+        AlgorithmSpec("daghetpart", config={"k_prime_strategy": "doubling"}),
+    ),
+    tags={"scenario": "{scenario}"},
+    scale_memory=True,
+)

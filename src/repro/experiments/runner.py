@@ -18,9 +18,11 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.api import (
     PARALLEL_ENV,
+    ScenarioSpec,
     ScheduleRequest,
     ScheduleResult,
     resolve_parallel,
+    run_scenario,
     solve,
     solve_batch,
 )
@@ -39,6 +41,7 @@ __all__ = [
     "resolve_parallel",
     "run_corpus",
     "run_instance",
+    "scenario_records",
 ]
 
 
@@ -157,3 +160,28 @@ def run_corpus(instances: Sequence[Instance], cluster: Cluster,
 
     results = solve_batch(requests, parallel=parallel, progress=hook)
     return [record_from_result(r) for r in results]
+
+
+def scenario_records(spec: ScenarioSpec,
+                     parallel: Optional[int] = None,
+                     progress: Optional[Callable[[str], None]] = None,
+                     cache=None) -> List[RunRecord]:
+    """Run a declarative scenario and flatten its results into records.
+
+    The scenario counterpart of :func:`run_corpus`: results stream
+    through :func:`repro.api.run_scenario` (so ``cache`` — a directory
+    path or :class:`repro.api.ResultCache` — turns re-runs into disk
+    reads) and are flattened as they arrive. ``progress`` receives one
+    message per completed request.
+    """
+    hook = None
+    if progress is not None:
+        total = spec.size()
+
+        def hook(index, request, result):
+            progress(f"finished {result.workflow} / {result.algorithm} on "
+                     f"{result.cluster} ({index + 1}/{total})")
+
+    return [record_from_result(r)
+            for r in run_scenario(spec, parallel=parallel, cache=cache,
+                                  progress=hook)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import ScheduleRequest, solve, solve_batch
+from repro.api import ScheduleRequest, iter_solve_batch, solve, solve_batch
 from repro.core.heuristic import DagHetPartConfig
 from repro.experiments.instances import synthetic_instances
 from repro.platform.presets import default_cluster
@@ -89,6 +89,81 @@ class TestSolveBatch:
     def test_single_request_stays_serial(self):
         results = solve_batch(_requests()[:1], parallel=8)
         assert len(results) == 1 and results[0].success
+
+
+class TestProgressOrdering:
+    """The hook fires in request order with matching (index, request, result),
+    serial and parallel alike."""
+
+    def _run(self, parallel):
+        requests = _requests()
+        seen = []
+        results = solve_batch(requests, parallel=parallel,
+                              progress=lambda i, req, res:
+                              seen.append((i, req, res)))
+        return requests, results, seen
+
+    @pytest.mark.parametrize("parallel", [None, 3])
+    def test_hooks_fire_in_request_order(self, parallel):
+        requests, results, seen = self._run(parallel)
+        assert [i for i, _, _ in seen] == list(range(len(requests)))
+
+    @pytest.mark.parametrize("parallel", [None, 3])
+    def test_hook_triples_are_consistent(self, parallel):
+        requests, results, seen = self._run(parallel)
+        for i, req, res in seen:
+            assert req is requests[i]
+            assert res is results[i]
+            assert res.workflow == req.workflow.name
+
+
+class TestIterSolveBatch:
+    def test_streams_in_request_order(self):
+        requests = _requests()
+        results = list(iter_solve_batch(requests))
+        assert [r.tags["instance"] for r in results] == \
+            [req.tags["instance"] for req in requests]
+
+    def test_accepts_a_lazy_generator(self):
+        requests = _requests()
+        consumed = []
+
+        def generator():
+            for req in requests:
+                consumed.append(req)
+                yield req
+
+        it = iter_solve_batch(generator())
+        first = next(it)
+        # serial path pulls one request at a time
+        assert len(consumed) == 1 and first.success
+        rest = list(it)
+        assert len(rest) == len(requests) - 1
+
+    def test_parallel_stream_matches_serial(self):
+        requests = _requests()
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k != "runtime"}
+        serial = [strip(r) for r in iter_solve_batch(iter(requests))]
+        parallel = [strip(r) for r in
+                    iter_solve_batch(iter(requests), parallel=2, window=2)]
+        assert parallel == serial
+
+
+class TestResolveParallelEnv:
+    def test_unparsable_env_value_warns_and_runs_serial(self, monkeypatch):
+        from repro.api import resolve_parallel
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL='lots'"):
+            assert resolve_parallel(None) == 0
+
+    def test_valid_env_value_does_not_warn(self, monkeypatch):
+        import warnings
+        from repro.api import resolve_parallel
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_parallel(None) == 3
 
 
 class TestRunnerAdapter:

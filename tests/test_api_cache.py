@@ -1,0 +1,124 @@
+"""Tests of the on-disk result cache and the request fingerprint."""
+
+import dataclasses
+import json
+
+from repro.api import (
+    ResultCache,
+    ScheduleRequest,
+    ScheduleResult,
+    request_fingerprint,
+    solve,
+)
+from repro.core.heuristic import DagHetPartConfig
+from repro.generators.families import generate_workflow
+from repro.platform.presets import default_cluster, small_cluster
+
+CONFIG = DagHetPartConfig(k_prime_values=(1, 4))
+
+
+def _request(**overrides) -> ScheduleRequest:
+    base = dict(workflow=generate_workflow("blast", 24, seed=1),
+                cluster=default_cluster(), algorithm="daghetpart",
+                config=CONFIG, scale_memory=True, want_mapping=False)
+    base.update(overrides)
+    return ScheduleRequest(**base)
+
+
+class TestFingerprint:
+    def test_stable_across_identical_requests(self):
+        assert request_fingerprint(_request()) == request_fingerprint(_request())
+
+    def test_tags_and_want_mapping_do_not_matter(self):
+        a = _request(tags={"instance": "x"}, want_mapping=False)
+        b = _request(tags={"other": 1}, want_mapping=True)
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_algorithm_name_canonicalized(self):
+        assert request_fingerprint(_request(algorithm="DagHetPart")) == \
+            request_fingerprint(_request(algorithm="dag-het-part"))
+
+    def test_sensitive_to_workflow_cluster_config_and_knobs(self):
+        base = request_fingerprint(_request())
+        others = [
+            _request(workflow=generate_workflow("blast", 24, seed=2)),
+            _request(cluster=small_cluster()),
+            _request(cluster=default_cluster(bandwidth=2.0)),
+            _request(algorithm="daghetmem", config=None),
+            _request(config=DagHetPartConfig(k_prime_values=(1, 8))),
+            _request(scale_memory=False),
+        ]
+        fingerprints = {request_fingerprint(r) for r in others}
+        assert base not in fingerprints
+        assert len(fingerprints) == len(others)  # all pairwise distinct
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        request = _request()
+        result = solve(request)
+        with ResultCache(str(tmp_path / "c")) as cache:
+            fp = cache.fingerprint(request)
+            assert cache.get(fp) is None
+            cache.put(fp, result)
+            got = cache.get(fp, request)
+        assert got == result  # mapping excluded from frozen-dataclass eq
+        assert got.makespan == result.makespan
+        assert got.runtime == result.runtime  # cached runtime preserved
+
+    def test_hit_takes_tags_from_incoming_request(self, tmp_path):
+        request = _request(tags={"instance": "a"})
+        result = solve(request)
+        with ResultCache(str(tmp_path / "c")) as cache:
+            fp = cache.fingerprint(request)
+            cache.put(fp, result)
+            relabelled = _request(tags={"instance": "b", "extra": 1})
+            got = cache.get(cache.fingerprint(relabelled), relabelled)
+        assert got.tags == {"instance": "b", "extra": 1}
+
+    def test_survives_reopen(self, tmp_path):
+        request = _request()
+        result = solve(request)
+        path = str(tmp_path / "c")
+        with ResultCache(path) as cache:
+            cache.put(cache.fingerprint(request), result)
+        reopened = ResultCache(path)
+        assert len(reopened) == 1
+        assert reopened.get(reopened.fingerprint(request), request) == result
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        """A crash mid-write leaves a partial line; the prefix stays usable."""
+        request = _request()
+        result = solve(request)
+        path = str(tmp_path / "c")
+        with ResultCache(path) as cache:
+            cache.put(cache.fingerprint(request), result)
+        with open(cache.path, "a") as fh:
+            fh.write('{"fp": "deadbeef", "result": {"algo')  # torn write
+        reopened = ResultCache(path)
+        assert len(reopened) == 1
+        assert reopened.get(reopened.fingerprint(request), request) == result
+        # and the cache still accepts new entries afterwards
+        other = _request(scale_memory=False)
+        reopened.put(reopened.fingerprint(other), solve(other))
+        assert len(ResultCache(path)) == 2
+
+    def test_duplicate_put_not_rewritten(self, tmp_path):
+        request = _request()
+        result = solve(request)
+        with ResultCache(str(tmp_path / "c")) as cache:
+            fp = cache.fingerprint(request)
+            cache.put(fp, result)
+            cache.put(fp, dataclasses.replace(result, runtime=99.0))
+        lines = [l for l in open(cache.path) if l.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["result"]["runtime"] != 99.0
+
+    def test_stats(self, tmp_path):
+        request = _request()
+        with ResultCache(str(tmp_path / "c")) as cache:
+            fp = cache.fingerprint(request)
+            cache.get(fp)
+            cache.put(fp, solve(request))
+            cache.get(fp)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}

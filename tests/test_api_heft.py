@@ -1,0 +1,102 @@
+"""Tests of the HEFT-style memory-oblivious list scheduler (heftlist)."""
+
+import pytest
+
+from repro.api import ScheduleRequest, get_algorithm, solve
+from repro.generators.families import generate_workflow
+from repro.platform.cluster import Cluster
+from repro.platform.presets import default_cluster
+from repro.platform.processor import Processor
+from repro.workflow.graph import Workflow
+
+
+def _solve(wf, cluster=None, **overrides):
+    base = dict(workflow=wf, cluster=cluster or default_cluster(),
+                algorithm="heftlist")
+    base.update(overrides)
+    return solve(ScheduleRequest(**base))
+
+
+class TestRegistration:
+    def test_registered_with_capabilities(self):
+        info = get_algorithm("heftlist")
+        assert info.display_name == "HeftList"
+        assert "memory-oblivious" in info.capabilities
+        assert info.config_cls is None
+
+    def test_name_aliases(self):
+        assert get_algorithm("HeftList") is get_algorithm("heft-list")
+
+
+class TestScheduling:
+    def test_valid_structure_on_default_cluster(self):
+        result = _solve(generate_workflow("blast", 60, seed=3))
+        assert result.success
+        assert result.makespan > 0
+        assert 1 <= result.n_blocks <= 36
+        mapping = result.mapping
+        # blocks partition the tasks, use distinct processors, and the
+        # quotient is acyclic (contiguous cuts of a topological order)
+        assert sum(len(a.tasks) for a in mapping.assignments) == \
+            mapping.workflow.n_tasks
+        names = [a.processor.name for a in mapping.assignments]
+        assert len(set(names)) == len(names)
+        assert mapping.to_quotient().is_acyclic()
+
+    def test_deterministic(self):
+        wf = generate_workflow("genome", 50, seed=9)
+        a = _solve(wf, want_mapping=False)
+        b = _solve(wf, want_mapping=False)
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k != "runtime"}
+        assert strip(a) == strip(b)
+
+    def test_memory_oblivious_never_fails_on_tiny_memory(self):
+        """The whole point of the baseline: no memory, no failures."""
+        wf = generate_workflow("blast", 40, seed=1)
+        tiny = Cluster([Processor(f"p{i}", 1.0 + i, 0.001) for i in range(4)])
+        result = _solve(wf, cluster=tiny, want_mapping=False)
+        assert result.success  # DagHetMem/DagHetPart both fail here
+        assert result.n_blocks <= 4
+
+    def test_empty_workflow(self):
+        result = _solve(Workflow("empty"))
+        assert result.success
+        assert result.makespan == 0.0 and result.n_blocks == 0
+
+    def test_single_task(self):
+        wf = Workflow("one")
+        wf.add_task("t", work=10.0, memory=1.0)
+        result = _solve(wf)
+        assert result.success and result.n_blocks == 1
+
+    def test_more_processors_never_needed_than_tasks(self):
+        wf = generate_workflow("seismology", 20, seed=2)
+        result = _solve(wf)
+        assert result.n_blocks <= wf.n_tasks
+
+    def test_makespan_matches_forward_simulation(self):
+        from repro.core.mapping import simulate_mapping
+        result = _solve(generate_workflow("bwa", 45, seed=4))
+        assert result.makespan == pytest.approx(
+            simulate_mapping(result.mapping))
+
+
+class TestInExperimentTables:
+    def test_failure_report_covers_heft(self):
+        from repro.experiments import figures
+        out = figures.failure_report(sizes={"small": (24,)},
+                                     families=("blast",))
+        algorithms = {r.algorithm for r in out["records"]}
+        assert algorithms == {"DagHetMem", "DagHetPart", "HeftList"}
+
+    def test_heft_relative_rows(self):
+        from repro.core.heuristic import DagHetPartConfig
+        from repro.experiments import figures
+        out = figures.heft_relative(
+            sizes={"small": (24,)}, families=("blast", "soykb"),
+            config=DagHetPartConfig(k_prime_values=(1, 4, 12)))
+        assert out["rows"]
+        for row in out["rows"]:
+            assert row["daghetpart_vs_heft_pct"] > 0
+        assert any(r["workflow_type"] == "all" for r in out["rows"])

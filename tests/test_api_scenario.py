@@ -1,0 +1,260 @@
+"""Tests of the declarative scenario API: spec → request grid → results."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.api.batch as batch_module
+from repro.api import (
+    AlgorithmSpec,
+    FamilyGridSource,
+    FileWorkflowSource,
+    PlatformAxis,
+    RealWorkflowSource,
+    ScenarioSpec,
+    collect_scenario,
+    expand,
+    load_scenario,
+    run_scenario,
+    save_scenario,
+)
+from repro.core.heuristic import DagHetPartConfig
+
+FAST_CONFIG = {"k_prime_values": [1, 4, 12]}
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="tiny",
+        workflows=(FamilyGridSource(families=("blast", "bwa"),
+                                    sizes={"small": (24,)}),),
+        platforms=(PlatformAxis(preset="default", bandwidths=(1.0,)),),
+        algorithms=(AlgorithmSpec("daghetmem"),
+                    AlgorithmSpec("daghetpart", config=FAST_CONFIG)),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecConstruction:
+    def test_sizes_sequence_becomes_custom_category(self):
+        src = FamilyGridSource(families=("blast",), sizes=(24, 32))
+        assert src.sizes == {"custom": (24, 32)}
+
+    def test_config_dataclass_normalised_to_dict(self):
+        alg = AlgorithmSpec("daghetpart",
+                            config=DagHetPartConfig(k_prime_values=(1, 4)))
+        assert isinstance(alg.config, dict)
+        assert alg.config["k_prime_values"] == [1, 4]
+        rebuilt = alg.build_config()
+        assert rebuilt == DagHetPartConfig(k_prime_values=(1, 4))
+
+    def test_config_on_configless_algorithm_rejected(self):
+        alg = AlgorithmSpec("daghetmem", config={"x": 1})
+        with pytest.raises(ValueError, match="takes no config"):
+            alg.build_config()
+
+    def test_unknown_source_kind_rejected(self):
+        from repro.api.scenario import source_from_dict
+        with pytest.raises(ValueError, match="unknown workflow source kind"):
+            source_from_dict({"kind": "nope"})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="workflow source"):
+            ScenarioSpec(name="x", workflows=())
+        with pytest.raises(ValueError, match="platform"):
+            tiny_spec(platforms=())
+        with pytest.raises(ValueError, match="algorithm"):
+            tiny_spec(algorithms=())
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identity(self):
+        spec = tiny_spec(
+            workflows=(RealWorkflowSource(names=("airrflow",)),
+                       FamilyGridSource(families=("blast",), sizes=(24,)),
+                       ),
+            platforms=(PlatformAxis(preset="small", bandwidths=(0.5, 2.0),
+                                    memory_factors=(1.0, 4.0)),),
+            tags={"series": "{family}@{bandwidth}", "constant": 7},
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        spec = tiny_spec()
+        save_scenario(spec, path)
+        assert load_scenario(path) == spec
+        # the file is plain, editable JSON
+        data = json.loads(open(path).read())
+        assert data["name"] == "tiny"
+        assert data["workflows"][0]["kind"] == "families"
+
+
+class TestExpand:
+    def test_grid_size_and_order(self):
+        spec = tiny_spec(platforms=(PlatformAxis(bandwidths=(0.5, 1.0)),))
+        requests = list(expand(spec))
+        assert len(requests) == spec.size() == 2 * 2 * 2
+        # instance-major, bandwidth middle, algorithm minor
+        assert [r.tags["family"] for r in requests] == \
+            ["blast"] * 4 + ["bwa"] * 4
+        assert [r.cluster.bandwidth for r in requests] == [0.5, 0.5, 1.0, 1.0] * 2
+        assert [r.algorithm for r in requests] == ["daghetmem", "daghetpart"] * 4
+
+    def test_expansion_is_lazy(self, monkeypatch):
+        import repro.generators.families as families_module
+        generated = []
+        real = families_module.generate_workflow
+        monkeypatch.setattr(
+            families_module, "generate_workflow",
+            lambda *a, **kw: generated.append(a) or real(*a, **kw))
+        big = tiny_spec(workflows=(FamilyGridSource(sizes={"small": (24,)}),))
+        assert big.size() == 7 * 2  # every family, two algorithms
+        # pulling the first request must generate exactly one workflow,
+        # not the whole grid
+        first = next(iter(expand(big)))
+        assert first.workflow.n_tasks > 0
+        assert len(generated) == 1
+
+    def test_tag_templates(self):
+        spec = tiny_spec(tags={"series": "{family}@{preset}", "run": 3})
+        req = next(iter(expand(spec)))
+        assert req.tags["series"] == "blast@default"
+        assert req.tags["run"] == 3
+        assert req.tags["instance"] == "blast-24"
+
+    def test_algorithm_template_matches_result_display_name(self):
+        spec = tiny_spec(tags={"algo": "{algorithm}"})
+        results = collect_scenario(spec)
+        for r in results:  # the tag joins cleanly against result.algorithm
+            assert r.tags["algo"] == r.algorithm
+
+    def test_unknown_template_field_is_a_clear_error(self):
+        spec = tiny_spec(tags={"oops": "{frobnicate}"})
+        with pytest.raises(KeyError, match="frobnicate"):
+            next(iter(expand(spec)))
+
+    def test_memory_factor_axis_scales_cluster(self):
+        spec = tiny_spec(platforms=(PlatformAxis(memory_factors=(1.0, 4.0)),),
+                         scale_memory=False)
+        requests = list(expand(spec))
+        base, scaled = requests[0].cluster, requests[2].cluster
+        assert scaled.max_memory() == pytest.approx(4 * base.max_memory())
+
+    def test_replications_shift_seeds_and_names(self):
+        spec = tiny_spec(workflows=(FamilyGridSource(
+            families=("blast",), sizes={"small": (24,)}, replications=2),))
+        names = [r.tags["instance"] for r in expand(spec)
+                 if r.algorithm == "daghetmem"]
+        assert names == ["blast-24", "blast-24#r1"]
+
+    def test_file_source(self, tmp_path):
+        from repro.generators.families import generate_workflow
+        from repro.workflow.io import save_workflow_json
+        path = str(tmp_path / "wf.json")
+        save_workflow_json(generate_workflow("blast", 24, seed=3), path)
+        spec = tiny_spec(workflows=(FileWorkflowSource(path=path),))
+        requests = list(expand(spec))
+        assert len(requests) == 2
+        assert requests[0].tags["category"] == "file"
+        assert requests[0].workflow.n_tasks >= 20
+
+    def test_unknown_algorithm_fails_eagerly(self):
+        spec = tiny_spec(algorithms=(AlgorithmSpec("nope"),))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            next(iter(expand(spec)))
+
+
+class TestFig5Equivalence:
+    """Acceptance: one JSON spec reproduces the fig5 family-sweep records."""
+
+    KWARGS = dict(sizes={"small": (24,), "mid": (40,)},
+                  families=("blast", "soykb"),
+                  config=DagHetPartConfig(k_prime_values=(1, 4, 12)), seed=0)
+
+    def _strip(self, record):
+        return dataclasses.replace(record, runtime=0.0)
+
+    def test_json_spec_reproduces_fig5_records(self, tmp_path):
+        from repro.experiments import figures
+        from repro.experiments.runner import scenario_records
+
+        driver_records = figures.fig5(**self.KWARGS)["records"]
+
+        spec = figures.corpus_scenario(
+            "fig5", preset="default", include_real=False, **self.KWARGS)
+        path = str(tmp_path / "fig5.json")
+        save_scenario(spec, path)  # the whole workload as one JSON file
+        spec_records = scenario_records(load_scenario(path))
+
+        assert [self._strip(r) for r in spec_records] == \
+            [self._strip(r) for r in driver_records]
+
+    def test_second_cached_run_does_zero_solves(self, tmp_path, monkeypatch):
+        from repro.experiments import figures
+        from repro.experiments.runner import scenario_records
+
+        spec = figures.corpus_scenario(
+            "fig5", preset="default", include_real=False, **self.KWARGS)
+        cache_dir = str(tmp_path / "cache")
+        first = scenario_records(spec, cache=cache_dir)
+
+        calls = []
+        real_solve = batch_module.solve
+        monkeypatch.setattr(batch_module, "solve",
+                            lambda req: calls.append(req) or real_solve(req))
+        second = scenario_records(spec, cache=cache_dir)
+        assert calls == []  # served entirely from the on-disk cache
+        assert [self._strip(r) for r in first] == \
+            [self._strip(r) for r in second]
+        # runtimes come back exactly as cached, so even they agree
+        assert [r.runtime for r in first] == [r.runtime for r in second]
+
+
+class TestRunScenario:
+    def test_streaming_matches_collect(self):
+        spec = tiny_spec()
+        streamed = list(run_scenario(spec))
+        collected = collect_scenario(spec)
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k != "runtime"}
+        assert [strip(r) for r in streamed] == [strip(r) for r in collected]
+
+    def test_parallel_matches_serial(self):
+        spec = tiny_spec()
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k != "runtime"}
+        assert [strip(r) for r in collect_scenario(spec, parallel=2)] == \
+            [strip(r) for r in collect_scenario(spec)]
+
+    def test_crashed_sweep_resumes(self, tmp_path, monkeypatch):
+        """A partial cache (crash artifact) only re-solves what is missing."""
+        spec = tiny_spec()
+        cache_dir = str(tmp_path / "cache")
+        # simulate a crash after two results
+        it = run_scenario(spec, cache=cache_dir)
+        partial = [next(it), next(it)]
+        it.close()
+        assert len(partial) == 2
+
+        calls = []
+        real_solve = batch_module.solve
+        monkeypatch.setattr(batch_module, "solve",
+                            lambda req: calls.append(req) or real_solve(req))
+        full = list(run_scenario(spec, cache=cache_dir))
+        assert len(full) == spec.size()
+        assert len(calls) == spec.size() - 2  # the two cached ones skipped
+
+
+class TestPaperScenario:
+    def test_constant_is_jsonable_and_counts(self):
+        from repro.experiments.instances import PAPER_SCENARIO
+        spec = ScenarioSpec.from_json(PAPER_SCENARIO.to_json())
+        assert spec == PAPER_SCENARIO
+        # 5 real + 7 families x 11 sizes instances, 10 platform points,
+        # 2 algorithms
+        instances = sum(src.count() for src in spec.workflows)
+        assert instances == 5 + 7 * 11
+        assert spec.size() == instances * 10 * 2

@@ -45,6 +45,14 @@ class TestSchedule:
         assert rc == 0
         assert "DagHetMem" in capsys.readouterr().out
 
+    def test_schedule_heftlist_skips_memory_validation(self, capsys):
+        # memory-oblivious mappings may exceed processor memories; the CLI
+        # must report them, not crash on validate()
+        rc = main(["schedule", "--family", "genome", "-n", "150",
+                   "--algorithm", "heftlist"])
+        assert rc == 0
+        assert "HeftList" in capsys.readouterr().out
+
     def test_schedule_from_file_with_gantt(self, tmp_path, capsys):
         wf_path = tmp_path / "wf.json"
         main(["generate", "--family", "seismology", "-n", "25", "-o", str(wf_path)])
@@ -112,3 +120,55 @@ class TestExperimentAndInfo:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestScenario:
+    def _write_spec(self, tmp_path):
+        from repro.api import (AlgorithmSpec, FamilyGridSource, PlatformAxis,
+                               ScenarioSpec, save_scenario)
+        spec = ScenarioSpec(
+            name="cli-tiny",
+            workflows=(FamilyGridSource(families=("blast",),
+                                        sizes={"small": (24,)}),),
+            platforms=(PlatformAxis(preset="default"),),
+            algorithms=(AlgorithmSpec("daghetmem"),
+                        AlgorithmSpec("daghetpart",
+                                      config={"k_prime_values": [1, 4]})),
+        )
+        path = str(tmp_path / "spec.json")
+        save_scenario(spec, path)
+        return path
+
+    def test_scenario_run(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        rc = main(["scenario", "run", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out
+        assert "scheduled : 2/2" in out
+
+    def test_scenario_run_cached_twice(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        rc = main(["scenario", "run", path, "--cache-dir", cache])
+        assert rc == 0
+        assert "misses=2" in capsys.readouterr().out
+        rc = main(["scenario", "run", path, "--cache-dir", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hits=2" in out and "misses=0" in out
+
+    def test_scenario_run_writes_jsonl(self, tmp_path, capsys):
+        from repro.api import ScheduleResult
+        path = self._write_spec(tmp_path)
+        out_path = tmp_path / "results.jsonl"
+        rc = main(["scenario", "run", path, "--json", str(out_path)])
+        assert rc == 0
+        lines = [l for l in out_path.read_text().splitlines() if l]
+        assert len(lines) == 2
+        results = [ScheduleResult.from_json(l) for l in lines]
+        assert {r.algorithm for r in results} == {"DagHetMem", "DagHetPart"}
+
+    def test_scenario_run_missing_spec_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["scenario", "run", str(tmp_path / "nope.json")])

@@ -76,6 +76,82 @@ class TestInstances:
         cluster = default_cluster()
         assert scaled_cluster_for(wf, cluster) is cluster
 
+    def test_scaled_cluster_noop_at_exact_fit(self):
+        """peak == max memory needs no headroom: identical object back."""
+        from repro.workflow.graph import Workflow
+        cluster = default_cluster()
+        wf = Workflow("exact")
+        wf.add_task("t", work=1.0, memory=cluster.max_memory())
+        assert wf.max_task_requirement() == cluster.max_memory()
+        assert scaled_cluster_for(wf, cluster) is cluster
+
+    def test_scaled_cluster_applies_headroom_factor(self):
+        """Every memory is multiplied by exactly peak/max * headroom."""
+        from repro.workflow.graph import Workflow
+        cluster = default_cluster()
+        peak = 3.0 * cluster.max_memory()
+        wf = Workflow("big")
+        wf.add_task("t", work=1.0, memory=peak)
+        scaled = scaled_cluster_for(wf, cluster, headroom=1.5)
+        factor = peak / cluster.max_memory() * 1.5
+        for before, after in zip(cluster.processors, scaled.processors):
+            assert after.memory == pytest.approx(before.memory * factor)
+            assert after.speed == before.speed and after.name == before.name
+        # the peak task now fits, with room to spare
+        assert scaled.max_memory() >= peak * 1.5 * 0.999
+
+    def test_scaled_cluster_default_headroom_makes_peak_fit(self):
+        from repro.workflow.graph import Workflow
+        cluster = default_cluster()
+        wf = Workflow("big")
+        wf.add_task("t", work=1.0, memory=cluster.max_memory() * 7.3)
+        scaled = scaled_cluster_for(wf, cluster)
+        assert scaled.max_memory() >= wf.max_task_requirement()
+
+
+class TestSeedBase:
+    """synthetic_instances must not collapse Generator seeds to 0."""
+
+    def test_generator_seed_is_not_collapsed_to_zero(self):
+        import numpy as np
+        from repro.experiments.instances import seed_base
+        gen = np.random.default_rng(123)
+        base = seed_base(gen)
+        assert base != 0
+        assert base != seed_base(np.random.default_rng(124))
+
+    def test_generator_seed_is_stable_for_equal_state(self):
+        import numpy as np
+        from repro.experiments.instances import seed_base
+        a = np.random.default_rng(5)
+        b = np.random.default_rng(5)
+        assert seed_base(a) == seed_base(b)
+        # deriving the base does not consume the stream
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_generator_seeded_corpora_differ_by_seed(self):
+        import numpy as np
+        instances_a = synthetic_instances(seed=np.random.default_rng(1),
+                                          sizes={"small": (24,)},
+                                          families=("blast",))
+        instances_b = synthetic_instances(seed=np.random.default_rng(2),
+                                          sizes={"small": (24,)},
+                                          families=("blast",))
+        wa, wb = instances_a[0].workflow, instances_b[0].workflow
+        assert [wa.work(u) for u in wa.tasks()] != \
+            [wb.work(u) for u in wb.tasks()]
+
+    def test_int_like_and_none_seeds(self):
+        from repro.experiments.instances import seed_base
+        assert seed_base(None) == 0
+        assert seed_base(7) == 7
+        assert seed_base("12") == 12  # int()-coercible passes through
+
+    def test_unusable_seed_raises_type_error(self):
+        from repro.experiments.instances import seed_base
+        with pytest.raises(TypeError, match="corpus seed"):
+            seed_base(object())
+
 
 class TestRunner:
     def test_run_instance_records(self):
@@ -136,7 +212,8 @@ class TestParallelRunner:
         assert resolve_parallel(None) == 3
         assert resolve_parallel(2) == 2
         monkeypatch.setenv("REPRO_PARALLEL", "junk")
-        assert resolve_parallel(None) == 0
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL='junk'"):
+            assert resolve_parallel(None) == 0
         monkeypatch.delenv("REPRO_PARALLEL")
         assert resolve_parallel(None) == 0
         assert resolve_parallel(-1) >= 1
