@@ -32,7 +32,7 @@ import json
 import time
 from dataclasses import asdict
 
-from repro.api import ResultCache, run_scenario
+from repro.api import AlgorithmSpec, AnnealConfig, ResultCache, run_scenario
 from repro.core.heuristic import DagHetPartConfig
 from repro.experiments.figures import corpus_scenario
 from repro.experiments.instances import synthetic_sizes
@@ -90,6 +90,13 @@ def main() -> None:
         "beta5": (spec("all-beta5", preset="default", bandwidth=5.0), "beta=5"),
         "demand4x": (spec("all-demand4x", preset="default", work_factor=4.0),
                      "4x demand"),
+        "refinement": (spec("all-refinement", preset="default",
+                            algorithm_specs=(
+                                AlgorithmSpec("daghetpart", config=CONFIG),
+                                AlgorithmSpec("anneal", config=AnnealConfig(
+                                    k_prime_strategy="doubling")),
+                                AlgorithmSpec("portfolio"))),
+                       "refinement suite"),
     }
     result_sets = {key: run(scenario, label, args.parallel, cache)
                    for key, (scenario, label) in plan.items()}
@@ -178,6 +185,15 @@ def main() -> None:
         "1x": rel_by_cat(d),
         "4x": rel_by_cat(record_sets["demand4x"]),
     }
+
+    # Refinement suite: anneal vs its DagHetPart seed, portfolio winners
+    refinement = record_sets["refinement"]
+    gain = relative_makespan_by(refinement, key=lambda r: r.category,
+                                numerator="Anneal", denominator="DagHetPart")
+    gain["all"] = relative_makespan_by(
+        refinement, key=lambda r: "all", numerator="Anneal",
+        denominator="DagHetPart").get("all", float("nan"))
+    out["figures"]["refinement_gain"] = gain
 
     # Failure audit: why any run failed, per cluster configuration
     out["figures"]["failures"] = {

@@ -21,8 +21,10 @@ examples, future serving layers):
   trippable experiment grids) with ``expand``/``run_scenario``;
 * :mod:`repro.api.cache` — fingerprint-keyed on-disk ``ResultCache``
   (resume instead of recompute);
-* :mod:`repro.api.schedulers` — the built-in algorithms (the paper's two
-  plus the memory-oblivious HEFT-style list scheduler).
+* :mod:`repro.api.schedulers` — the built-in algorithms: the paper's two
+  plus the memory-oblivious HEFT-style list scheduler, the
+  simulated-annealing refiner (``anneal``), and the best-of-N
+  ``portfolio`` meta-scheduler.
 """
 
 from repro.api.envelopes import (
@@ -41,7 +43,7 @@ from repro.api.registry import (
     register_algorithm,
     unregister_algorithm,
 )
-from repro.api import schedulers as _builtin_schedulers  # noqa: F401  (registers)
+from repro.api.schedulers import PortfolioConfig  # noqa: F401  (also registers)
 from repro.api.batch import (
     PARALLEL_ENV,
     iter_solve_batch,
@@ -63,16 +65,19 @@ from repro.api.scenario import (
     run_scenario,
     save_scenario,
 )
+from repro.core.anneal import AnnealConfig
 from repro.core.heuristic import SweepPoint
 
 __all__ = [
     "AlgorithmInfo",
     "AlgorithmSpec",
+    "AnnealConfig",
     "FailureInfo",
     "FamilyGridSource",
     "FileWorkflowSource",
     "PARALLEL_ENV",
     "PlatformAxis",
+    "PortfolioConfig",
     "RealWorkflowSource",
     "ResultCache",
     "ScenarioSpec",

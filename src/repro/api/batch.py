@@ -82,6 +82,7 @@ def solve(request: ScheduleRequest) -> ScheduleResult:
         sweep=tuple(output.sweep) if output is not None else sweep,
         failure=failure,
         tags=dict(request.tags),
+        extra=dict(output.extra) if output is not None else {},
         mapping=mapping if request.want_mapping else None,
     )
 

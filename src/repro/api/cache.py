@@ -21,9 +21,11 @@ excludes ``tags`` (correlation metadata that does not influence the
 result) and ``want_mapping`` (which only controls whether the live
 mapping rides on the envelope): two requests for the same computation hit
 the same cache line no matter how they are labelled. On a hit the stored
-result is rehydrated with the *incoming* request's tags, so records
-rebuilt from cached results are identical to freshly computed ones apart
-from the recorded ``runtime``.
+result is rehydrated with the *incoming* request's tags (the stored
+``extra`` — algorithm-reported outcome metadata — is kept, since the
+fingerprint keys the computation that produced it), so records rebuilt
+from cached results are identical to freshly computed ones apart from
+the recorded ``runtime``.
 """
 
 from __future__ import annotations
@@ -35,7 +37,7 @@ import os
 from typing import Any, Dict, Optional
 
 from repro.api.envelopes import ScheduleRequest, ScheduleResult
-from repro.api.registry import canonical_name
+from repro.api.registry import canonical_name, get_algorithm
 
 #: file name of the cache inside its directory
 CACHE_FILENAME = "results.jsonl"
@@ -66,10 +68,19 @@ def _cluster_key(cluster) -> Dict[str, Any]:
 
 
 def _config_key(config) -> Any:
-    """Canonical description of an algorithm config (None, dataclass, dict)."""
+    """Canonical description of an algorithm config (None, dataclass, dict).
+
+    A config may define ``fingerprint_fields()`` to control what the
+    cache keys on — e.g. ``PortfolioConfig`` hashes its *resolved* member
+    list (the registry state matters) and drops its execution-only
+    ``parallel`` knob.
+    """
     if config is None:
         return None
-    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+    fingerprint_fields = getattr(config, "fingerprint_fields", None)
+    if callable(fingerprint_fields):
+        fields = dict(fingerprint_fields())
+    elif dataclasses.is_dataclass(config) and not isinstance(config, type):
         fields = dataclasses.asdict(config)
     elif isinstance(config, dict):
         fields = dict(config)
@@ -81,11 +92,21 @@ def _config_key(config) -> Any:
 
 def request_fingerprint(request: ScheduleRequest) -> str:
     """Stable hex digest identifying the computation a request describes."""
+    config = request.config
+    if config is None:
+        # an algorithm whose config class customises its fingerprint
+        # (PortfolioConfig: registry-dependent membership) must key the
+        # default-config request the same way as an explicit default —
+        # config=None and config=PortfolioConfig() are one computation
+        config_cls = get_algorithm(request.algorithm).config_cls
+        if config_cls is not None and \
+                callable(getattr(config_cls, "fingerprint_fields", None)):
+            config = config_cls()
     payload = {
         "workflow": _workflow_key(request.workflow),
         "cluster": _cluster_key(request.cluster),
         "algorithm": canonical_name(request.algorithm),
-        "config": _config_key(request.config),
+        "config": _config_key(config),
         "scale_memory": bool(request.scale_memory),
         "validate": bool(request.validate),
     }
@@ -155,7 +176,13 @@ class ResultCache:
 
     def get(self, fingerprint: str,
             request: Optional[ScheduleRequest] = None) -> Optional[ScheduleResult]:
-        """The stored result, retagged with the incoming request's tags."""
+        """The stored result, retagged with the incoming request's tags.
+
+        Tags belong to the caller, so they are replaced wholesale; the
+        stored ``extra`` (``SchedulerOutput.extra`` — e.g. the
+        portfolio's winner) is kept, since it describes the computation,
+        which is what the fingerprint keys.
+        """
         offset = self._offsets.get(fingerprint)
         if offset is None:
             self.misses += 1

@@ -26,6 +26,17 @@ from repro.platform.cluster import Cluster
 from repro.utils import errors as _errors
 from repro.workflow.graph import Workflow
 
+def _tupled(value: Any) -> Any:
+    """Recursively turn JSON lists back into the tuples frozen configs use.
+
+    Shared by every config-rehydration path (request ``from_dict`` here,
+    ``AlgorithmSpec.build_config`` in :mod:`repro.api.scenario`).
+    """
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
 #: exception classes a FailureInfo can be rehydrated into
 _FAILURE_KINDS = {
     cls.__name__: cls
@@ -88,6 +99,81 @@ class ScheduleRequest:
     want_mapping: bool = True
     tags: TMapping[str, Any] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    # JSON round trip (requests are fully serializable: workflow weights,
+    # cluster + interconnect, config fields — so a request grid can be
+    # shipped to another process or archived next to its results)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict of the complete request.
+
+        ``config`` must be ``None`` or a dataclass instance (every
+        registered ``config_cls`` is one); anything else raises
+        ``TypeError`` — explicit rejection instead of a lossy repr.
+        """
+        import dataclasses
+
+        from repro.workflow.io import workflow_to_dict
+
+        if self.config is None:
+            config = None
+        elif dataclasses.is_dataclass(self.config) \
+                and not isinstance(self.config, type):
+            config = {"type": type(self.config).__name__,
+                      "fields": dataclasses.asdict(self.config)}
+        else:
+            raise TypeError(
+                f"cannot serialize config of type "
+                f"{type(self.config).__name__}; expected None or a dataclass")
+        return {
+            "workflow": workflow_to_dict(self.workflow),
+            "cluster": self.cluster.to_dict(),
+            "algorithm": self.algorithm,
+            "config": config,
+            "scale_memory": self.scale_memory,
+            "validate": self.validate,
+            "want_mapping": self.want_mapping,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "ScheduleRequest":
+        """Inverse of :meth:`to_dict`; config rebuilt via the registry."""
+        from repro.api.registry import get_algorithm
+        from repro.workflow.io import workflow_from_dict
+
+        algorithm = data.get("algorithm", "daghetpart")
+        config = None
+        stored = data.get("config")
+        if stored is not None:
+            config_cls = get_algorithm(algorithm).config_cls
+            if config_cls is None or config_cls.__name__ != stored["type"]:
+                expected = "no config" if config_cls is None \
+                    else config_cls.__name__
+                raise ValueError(
+                    f"algorithm {algorithm!r} takes {expected}, but the "
+                    f"stored request carries a {stored['type']!r}")
+            config = config_cls(**{k: _tupled(v)
+                                   for k, v in stored["fields"].items()})
+        return cls(
+            workflow=workflow_from_dict(data["workflow"]),
+            cluster=Cluster.from_dict(data["cluster"]),
+            algorithm=algorithm,
+            config=config,
+            scale_memory=bool(data.get("scale_memory", False)),
+            validate=bool(data.get("validate", False)),
+            want_mapping=bool(data.get("want_mapping", True)),
+            tags=dict(data.get("tags", {})),
+        )
+
+    def to_json(self) -> str:
+        """Deterministic strict JSON; non-finite floats are rejected."""
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleRequest":
+        return cls.from_dict(json.loads(text))
+
 
 @dataclass(frozen=True)
 class SchedulerOutput:
@@ -95,12 +181,17 @@ class SchedulerOutput:
 
     Algorithms without a ``k'`` sweep leave ``k_prime``/``sweep`` at their
     defaults; the façade fills in timing, failure capture, and envelope
-    metadata around this.
+    metadata around this. ``extra`` carries algorithm-specific outcome
+    metadata (the portfolio's winner, the annealer's seed makespan); the
+    façade surfaces it as ``ScheduleResult.extra``, so it survives JSON
+    round-trips and cache hits without mixing into the caller's ``tags``.
+    Values must be JSON-serializable and finite.
     """
 
     mapping: Mapping
     k_prime: Optional[int] = None
     sweep: Tuple[SweepPoint, ...] = ()
+    extra: TMapping[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -119,6 +210,11 @@ class ScheduleResult:
     sweep: Tuple[SweepPoint, ...] = ()
     failure: Optional[FailureInfo] = None
     tags: TMapping[str, Any] = field(default_factory=dict)
+    #: algorithm-reported outcome metadata (``SchedulerOutput.extra``):
+    #: the portfolio's winner, the annealer's seed makespan. Determined
+    #: by the computation — unlike ``tags``, which belong to the caller —
+    #: so cache hits keep the stored ``extra`` while retagging.
+    extra: TMapping[str, Any] = field(default_factory=dict)
     #: the live mapping; never serialized, None after from_json or when
     #: the request asked for want_mapping=False
     mapping: Optional[Mapping] = field(default=None, compare=False, repr=False)
@@ -143,10 +239,19 @@ class ScheduleResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable dict of everything except the live mapping.
 
-        The infinite makespan of a failed run becomes ``null`` so the
+        The ``+inf`` makespan of a failed run becomes ``null`` so the
         output is strict RFC 8259 JSON (no ``Infinity`` literal, which
         jq/JavaScript parsers reject); :meth:`from_dict` restores it.
+        ``nan``/``-inf`` makespans have no failed-run meaning to restore,
+        so they are rejected with ``ValueError`` rather than silently
+        rehydrated as ``+inf`` (any other non-finite float in the
+        envelope is likewise rejected, by ``allow_nan=False`` at dump
+        time).
         """
+        if not math.isfinite(self.makespan) and self.makespan != math.inf:
+            raise ValueError(
+                f"cannot serialize makespan {self.makespan!r}: only finite "
+                f"values or +inf (failed run) are representable")
         return {
             "algorithm": self.algorithm,
             "workflow": self.workflow,
@@ -165,6 +270,7 @@ class ScheduleResult:
                 "unplaced_tasks": self.failure.unplaced_tasks,
             },
             "tags": dict(self.tags),
+            "extra": dict(self.extra),
         }
 
     @classmethod
@@ -187,6 +293,7 @@ class ScheduleResult:
                 kind=failure["kind"], message=failure["message"],
                 unplaced_tasks=int(failure.get("unplaced_tasks", 0))),
             tags=dict(data.get("tags", {})),
+            extra=dict(data.get("extra", {})),
         )
 
     def to_json(self) -> str:

@@ -56,15 +56,8 @@ from typing import (
 
 from repro.api.batch import ProgressHook, iter_solve_batch
 from repro.api.cache import ResultCache
-from repro.api.envelopes import ScheduleRequest, ScheduleResult
+from repro.api.envelopes import ScheduleRequest, ScheduleResult, _tupled
 from repro.api.registry import get_algorithm
-
-
-def _tupled(value: Any) -> Any:
-    """Recursively turn JSON lists into tuples (frozen-spec hygiene)."""
-    if isinstance(value, list):
-        return tuple(_tupled(v) for v in value)
-    return value
 
 
 def _listed(value: Any) -> Any:

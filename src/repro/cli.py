@@ -61,7 +61,28 @@ EXPERIMENTS = {
     "failures": figures.failure_report,
     "heft_relative": figures.heft_relative,
     "demand4x": figures.demand4x,
+    "refinement_gain": figures.refinement_gain,
 }
+
+
+def _cli_config(algorithm: str, k_strategy: str):
+    """Build the config the CLI can express for ``algorithm``.
+
+    Any registered config dataclass with a ``k_prime_strategy`` field
+    (DagHetPartConfig, AnnealConfig, future sweep-based configs) receives
+    the ``--k-strategy`` choice; algorithms with other configs — or none —
+    run on their defaults.
+    """
+    import dataclasses
+
+    from repro.api import get_algorithm
+
+    config_cls = get_algorithm(algorithm).config_cls
+    if config_cls is None:
+        return None
+    if any(f.name == "k_prime_strategy" for f in dataclasses.fields(config_cls)):
+        return config_cls(k_prime_strategy=k_strategy)
+    return None
 
 
 def _load_workflow(args) -> "Workflow":
@@ -116,7 +137,7 @@ def cmd_schedule(args) -> int:
         workflow=wf,
         cluster=cluster,
         algorithm=args.algorithm,
-        config=DagHetPartConfig(k_prime_strategy=args.k_strategy),
+        config=_cli_config(args.algorithm, args.k_strategy),
         scale_memory=args.scale_memory,
         validate=not oblivious,
     ))
@@ -134,6 +155,14 @@ def cmd_schedule(args) -> int:
         feasible = sum(1 for p in result.sweep if p.status == "ok")
         print(f"k'        : {result.k_prime} "
               f"({feasible}/{len(result.sweep)} candidates feasible)")
+    seed_mu = result.extra.get("anneal_seed_makespan")
+    if seed_mu is not None:
+        print(f"refined   : {seed_mu:.2f} -> {result.makespan:.2f} "
+              f"({result.extra.get('anneal_accepted', 0)} accepted moves/swaps)")
+    winner = result.extra.get("portfolio_winner")
+    if winner is not None:
+        print(f"winner    : {winner} "
+              f"(portfolio: {result.extra.get('portfolio_members', '')})")
     if args.gantt:
         from repro.core.simulate import gantt_text
         print()

@@ -51,7 +51,9 @@ def corpus_scenario(name: str, preset: str = "default", bandwidth: float = 1.0,
                     seed=0, full=None, families=None, sizes=None,
                     include_real: bool = True, work_factor: float = 1.0,
                     config: Optional[DagHetPartConfig] = None,
-                    algorithms: Sequence[str] = ALGORITHMS) -> ScenarioSpec:
+                    algorithms: Sequence[str] = ALGORITHMS,
+                    algorithm_specs: Optional[Sequence[AlgorithmSpec]] = None,
+                    ) -> ScenarioSpec:
     """The classic corpus sweep (Section 5.1.1 corpus on one cluster) as a
     declarative scenario.
 
@@ -59,7 +61,10 @@ def corpus_scenario(name: str, preset: str = "default", bandwidth: float = 1.0,
     pipeline exactly (real workflows first, then the family grid,
     instance-major / algorithm-minor), so the records a figure driver
     aggregates are bit-for-bit those of the hand-written sweep. ``config``
-    is attached to every algorithm that declares a config class.
+    is attached to every algorithm that declares a config class;
+    ``algorithm_specs`` overrides the whole algorithm grid for drivers
+    whose algorithms take *different* config types (e.g. the refinement
+    suite's DagHetPartConfig + AnnealConfig pairing).
     """
     sources: List = []
     if include_real:
@@ -68,14 +73,16 @@ def corpus_scenario(name: str, preset: str = "default", bandwidth: float = 1.0,
         families=None if families is None else tuple(families),
         sizes=sizes if sizes is not None else synthetic_sizes(full),
         seed=seed, work_factor=work_factor))
+    if algorithm_specs is None:
+        algorithm_specs = tuple(
+            AlgorithmSpec(alg, config=config
+                          if get_algorithm(alg).config_cls is not None else None)
+            for alg in algorithms)
     return ScenarioSpec(
         name=name,
         workflows=tuple(sources),
         platforms=(PlatformAxis(preset=preset, bandwidths=(bandwidth,)),),
-        algorithms=tuple(
-            AlgorithmSpec(alg, config=config
-                          if get_algorithm(alg).config_cls is not None else None)
-            for alg in algorithms),
+        algorithms=tuple(algorithm_specs),
         scale_memory=True,
     )
 
@@ -397,6 +404,48 @@ def heft_relative(seed=0, full=None, families=None, sizes=None,
                      "daghetmem_vs_heft_pct": relative_makespan_by(
                          records, key=lambda r: "all", numerator="DagHetMem",
                          denominator="HeftList").get("all", float("nan"))})
+    return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Refinement suite: what does simulated annealing buy over DagHetPart?
+# ----------------------------------------------------------------------
+def refinement_gain(seed=0, full=None, families=None, sizes=None,
+                    config: Optional[DagHetPartConfig] = None,
+                    anneal_config: Optional["AnnealConfig"] = None,
+                    progress=None, parallel=None) -> Dict[str, List]:
+    """Relative makespan (%) of ``anneal`` vs its ``daghetpart`` seed.
+
+    The annealer is seeded from the best DagHetPart sweep mapping and
+    never returns a worse one, so every per-instance ratio is <= 100%;
+    the geometric means per workflow type quantify what the Metropolis
+    local search buys beyond the paper's greedy Step 4. The annealer's
+    ``k'`` strategy follows ``config`` so both columns sweep the same
+    candidate partitions.
+    """
+    from repro.core.anneal import AnnealConfig
+
+    part_config = config or DagHetPartConfig()
+    if anneal_config is None:
+        anneal_config = AnnealConfig(
+            k_prime_strategy=part_config.k_prime_strategy)
+    spec = corpus_scenario(
+        "refinement-gain", seed=seed, full=full, families=families,
+        sizes=sizes, algorithm_specs=(
+            AlgorithmSpec("daghetpart", config=part_config),
+            AlgorithmSpec("anneal", config=anneal_config),
+        ))
+    records = scenario_records(spec, parallel=parallel, progress=progress)
+    rel = relative_makespan_by(records, key=lambda r: r.category,
+                               numerator="Anneal", denominator="DagHetPart")
+    rows = [{"workflow_type": cat, "anneal_vs_daghetpart_pct": rel[cat]}
+            for cat in SIZE_CATEGORIES if cat in rel]
+    overall = relative_makespan_by(records, key=lambda r: "all",
+                                   numerator="Anneal",
+                                   denominator="DagHetPart").get("all")
+    if overall is not None:
+        rows.append({"workflow_type": "all",
+                     "anneal_vs_daghetpart_pct": overall})
     return {"rows": rows, "records": records}
 
 

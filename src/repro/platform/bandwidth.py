@@ -39,6 +39,10 @@ class BandwidthModel:
         """Bandwidth assumed for links whose endpoints are undecided."""
         raise NotImplementedError
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible description; inverse of :func:`model_from_dict`."""
+        raise NotImplementedError
+
 
 class UniformBandwidth(BandwidthModel):
     """The paper's model: every link has bandwidth ``beta``."""
@@ -54,6 +58,9 @@ class UniformBandwidth(BandwidthModel):
     @property
     def default(self) -> float:
         return self._beta
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "uniform", "beta": self._beta}
 
     def __repr__(self) -> str:
         return f"UniformBandwidth({self._beta:g})"
@@ -71,6 +78,10 @@ class LinkBandwidth(BandwidthModel):
             raise ValueError("default bandwidth must be positive")
         self._links: Dict[frozenset, float] = {}
         for (a, b), beta in links.items():
+            if a == b:
+                raise ValueError(
+                    f"self-link ({a}, {b}) is meaningless: same-processor "
+                    f"transfers are free (between() returns inf)")
             if beta <= 0:
                 raise ValueError(f"bandwidth of link ({a}, {b}) must be positive")
             self._links[frozenset((a, b))] = float(beta)
@@ -85,6 +96,11 @@ class LinkBandwidth(BandwidthModel):
     @property
     def default(self) -> float:
         return self._default
+
+    def to_dict(self) -> Dict[str, object]:
+        links = sorted([*sorted(pair), beta]
+                       for pair, beta in self._links.items())
+        return {"type": "links", "default": self._default, "links": links}
 
     def __repr__(self) -> str:
         return f"LinkBandwidth({len(self._links)} links, default={self._default:g})"
@@ -123,6 +139,26 @@ class GroupedBandwidth(BandwidthModel):
     def default(self) -> float:
         return self._inter
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "grouped", "groups": dict(self._groups),
+                "intra": self._intra, "inter": self._inter}
+
     def __repr__(self) -> str:
         return (f"GroupedBandwidth(intra={self._intra:g}, inter={self._inter:g}, "
                 f"{len(set(self._groups.values()))} groups)")
+
+
+def model_from_dict(data: Mapping[str, object]) -> BandwidthModel:
+    """Rebuild a bandwidth model from its ``to_dict`` form."""
+    kind = data.get("type")
+    if kind == "uniform":
+        return UniformBandwidth(float(data["beta"]))
+    if kind == "links":
+        links = {(a, b): float(beta) for a, b, beta in data["links"]}
+        return LinkBandwidth(links, float(data["default"]))
+    if kind == "grouped":
+        return GroupedBandwidth({str(k): str(v)
+                                 for k, v in data["groups"].items()},
+                                float(data["intra"]), float(data["inter"]))
+    raise ValueError(f"unknown bandwidth model type {kind!r}; "
+                     f"valid: uniform, links, grouped")

@@ -119,6 +119,25 @@ class Cluster:
         return Cluster(procs, name=f"{self.name}-mem{factor:g}x",
                        bandwidth_model=self.bandwidth_model)
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible description; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "processors": [[p.name, float(p.speed), float(p.memory), p.kind]
+                           for p in self._procs],
+            "bandwidth": self.bandwidth_model.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Cluster":
+        """Rebuild a cluster (processors + interconnect) from ``to_dict``."""
+        from repro.platform.bandwidth import model_from_dict
+        procs = [Processor(str(name), float(speed), float(memory), str(kind))
+                 for name, speed, memory, kind in data["processors"]]
+        return cls(procs, name=str(data.get("name", "cluster")),
+                   bandwidth_model=model_from_dict(data["bandwidth"]))
+
     def __repr__(self) -> str:
         return (f"Cluster({self.name!r}, k={self.k}, beta={self.bandwidth:g}, "
                 f"mem=[{self.min_memory():g}..{self.max_memory():g}])")

@@ -3,6 +3,8 @@
 import dataclasses
 import json
 
+import pytest
+
 from repro.api import (
     ResultCache,
     ScheduleRequest,
@@ -122,3 +124,105 @@ class TestResultCache:
             cache.put(fp, solve(request))
             cache.get(fp)
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+
+def _populated_cache(tmp_path, n=3):
+    """A closed cache with ``n`` complete entries; returns (path, [(fp, result)])."""
+    entries = []
+    path = str(tmp_path / "c")
+    with ResultCache(path) as cache:
+        for seed in range(1, n + 1):
+            request = _request(workflow=generate_workflow("blast", 24, seed=seed))
+            fp = cache.fingerprint(request)
+            cache.put(fp, solve(request))
+            entries.append((fp, request))
+    return path, entries
+
+
+class TestMidAppendCrashRecovery:
+    """The process dies mid-append: the repaired index must drop exactly
+    the torn entry — every byte-complete line before it stays served."""
+
+    @pytest.mark.parametrize("keep", [0.02, 0.25, 0.5, 0.97])
+    def test_torn_final_line_drops_only_that_entry(self, tmp_path, keep):
+        path, entries = _populated_cache(tmp_path)
+        cache_file = ResultCache(path).path
+        raw = open(cache_file, "rb").read()
+        last_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        last_len = len(raw) - last_start
+        # cut the final payload line `keep` of the way in (1 byte .. just
+        # short of complete) — every prefix the OS could have flushed
+        cut = last_start + max(1, min(last_len - 2, int(last_len * keep)))
+        with open(cache_file, "r+b") as fh:
+            fh.truncate(cut)
+
+        reopened = ResultCache(path)
+        assert len(reopened) == len(entries) - 1
+        for fp, request in entries[:-1]:
+            assert reopened.get(fp, request) is not None
+        torn_fp, torn_request = entries[-1]
+        assert torn_fp not in reopened
+        assert reopened.get(torn_fp, torn_request) is None
+
+    def test_missing_final_newline_alone_is_not_a_torn_entry(self, tmp_path):
+        # dying between write() and the newline flush leaves complete
+        # JSON without its terminator — that entry is still recoverable
+        path, entries = _populated_cache(tmp_path)
+        cache_file = ResultCache(path).path
+        size = len(open(cache_file, "rb").read())
+        with open(cache_file, "r+b") as fh:
+            fh.truncate(size - 1)
+        reopened = ResultCache(path)
+        assert len(reopened) == len(entries)
+        assert reopened.get(*entries[-1]) is not None
+
+    def test_corrupt_middle_line_drops_only_that_entry(self, tmp_path):
+        path, entries = _populated_cache(tmp_path)
+        cache_file = ResultCache(path).path
+        lines = open(cache_file, "rb").read().splitlines(keepends=True)
+        assert len(lines) == 3
+        # a hole punched mid-file (lost page, partial sector write): the
+        # middle line's payload is garbage but its framing survives
+        lines[1] = b'{"fp": "deadbeef", "result": {"alg\x00' + b"\n"
+        with open(cache_file, "wb") as fh:
+            fh.writelines(lines)
+
+        reopened = ResultCache(path)
+        assert len(reopened) == 2
+        assert entries[0][0] in reopened and entries[2][0] in reopened
+        assert entries[1][0] not in reopened
+
+    @pytest.mark.parametrize("keep", [0.3, 0.8])
+    def test_next_writer_repairs_the_torn_tail(self, tmp_path, keep):
+        path, entries = _populated_cache(tmp_path)
+        cache_file = ResultCache(path).path
+        raw = open(cache_file, "rb").read()
+        last_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        cut = last_start + max(1, int((len(raw) - last_start) * keep))
+        with open(cache_file, "r+b") as fh:
+            fh.truncate(cut)
+
+        # the torn request is recomputed and re-appended; the fragment is
+        # newline-terminated first so the new entry parses on its own line
+        torn_fp, torn_request = entries[-1]
+        reopened = ResultCache(path)
+        assert reopened.get(torn_fp, torn_request) is None
+        reopened.put(torn_fp, solve(torn_request))
+        reopened.close()
+
+        final = ResultCache(path)
+        assert len(final) == len(entries)
+        for fp, request in entries:
+            assert final.get(fp, request) is not None
+        # every line except the repaired fragment is valid JSON
+        bad = [l for l in open(final.path, "rb").read().splitlines()
+               if l and not _parses(l)]
+        assert len(bad) == 1  # exactly the terminated torn fragment
+
+
+def _parses(line: bytes) -> bool:
+    try:
+        json.loads(line.decode("utf-8"))
+        return True
+    except (ValueError, UnicodeDecodeError):
+        return False

@@ -1,0 +1,199 @@
+"""Tests of the portfolio meta-scheduler: argmin contract, filtering, tags."""
+
+import math
+
+import pytest
+
+from repro.api import (
+    PortfolioConfig,
+    ScheduleRequest,
+    get_algorithm,
+    register_algorithm,
+    solve,
+    unregister_algorithm,
+)
+from repro.api.schedulers import PortfolioScheduler
+from repro.experiments.instances import scaled_cluster_for
+from repro.generators.families import generate_workflow
+from repro.platform.cluster import Cluster
+from repro.platform.presets import default_cluster
+from repro.platform.processor import Processor
+
+
+def _solve(wf, cluster, algorithm, config=None):
+    return solve(ScheduleRequest(workflow=wf, cluster=cluster,
+                                 algorithm=algorithm, config=config))
+
+
+class TestArgminContract:
+    def test_portfolio_is_argmin_of_members(self):
+        members = ("daghetmem", "daghetpart")
+        for family, seed in (("blast", 1), ("genome", 2), ("soykb", 3)):
+            wf = generate_workflow(family, 60, seed=seed)
+            cluster = scaled_cluster_for(wf, default_cluster())
+            individual = {m: _solve(wf, cluster, m) for m in members}
+            port = _solve(wf, cluster, "portfolio",
+                          PortfolioConfig(algorithms=members))
+            best = min(r.makespan for r in individual.values())
+            assert port.makespan == best
+            winner = port.extra["portfolio_winner"]
+            assert individual[winner.lower()].makespan == best
+
+    def test_ties_go_to_the_first_member(self):
+        # both member orders must report the same (tied) makespan but
+        # crown the member listed first
+        wf = generate_workflow("blast", 40, seed=5)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        a = _solve(wf, cluster, "portfolio",
+                   PortfolioConfig(algorithms=("daghetpart", "anneal")))
+        b = _solve(wf, cluster, "portfolio",
+                   PortfolioConfig(algorithms=("anneal", "daghetpart")))
+        assert a.makespan == b.makespan
+        if a.extra["portfolio_winner"] != b.extra["portfolio_winner"]:
+            # a genuine tie: each order crowned its first member
+            assert a.extra["portfolio_winner"] == "DagHetPart"
+            assert b.extra["portfolio_winner"] == "Anneal"
+
+    def test_winner_and_members_ride_on_extra(self):
+        wf = generate_workflow("genome", 40, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        result = _solve(wf, cluster, "portfolio")
+        assert result.success
+        assert result.extra["portfolio_winner"] in \
+            ("DagHetMem", "DagHetPart", "Anneal")
+        assert "daghetpart" in result.extra["portfolio_members"]
+        # the outcome metadata survives the JSON round trip, and the
+        # caller's tags stay clean of it
+        assert "portfolio_winner" not in result.tags
+        back = type(result).from_json(result.to_json())
+        assert back.extra["portfolio_winner"] == result.extra["portfolio_winner"]
+
+
+class TestMembership:
+    def test_default_filter_excludes_meta_and_memory_oblivious(self):
+        members = PortfolioScheduler().members(PortfolioConfig())
+        assert "portfolio" not in members
+        assert "heftlist" not in members  # memory-oblivious
+        assert {"daghetmem", "daghetpart", "anneal"} <= set(members)
+
+    def test_capability_filter_is_configurable(self):
+        members = PortfolioScheduler().members(
+            PortfolioConfig(exclude_capabilities=("meta", "memory-oblivious",
+                                                  "refinement")))
+        assert "anneal" not in members
+        assert "daghetpart" in members
+
+    def test_plugin_algorithms_join_the_default_pool(self):
+        @register_algorithm("teststub", summary="stub")
+        def stub(workflow, cluster, config=None):
+            from repro.core.baseline import dag_het_mem
+            return dag_het_mem(workflow, cluster)
+
+        try:
+            members = PortfolioScheduler().members(PortfolioConfig())
+            assert "teststub" in members
+        finally:
+            unregister_algorithm("teststub")
+
+    def test_unknown_member_raises(self):
+        wf = generate_workflow("blast", 24, seed=0)
+        with pytest.raises(ValueError):
+            _solve(wf, default_cluster(), "portfolio",
+                   PortfolioConfig(algorithms=("nosuch",)))
+
+    def test_nested_meta_rejected(self):
+        wf = generate_workflow("blast", 24, seed=0)
+        with pytest.raises(ValueError):
+            _solve(wf, default_cluster(), "portfolio",
+                   PortfolioConfig(algorithms=("portfolio",)))
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioConfig(algorithms=())
+
+    def test_wrong_config_type_raises(self):
+        wf = generate_workflow("blast", 24, seed=0)
+        from repro.core.heuristic import DagHetPartConfig
+        with pytest.raises(TypeError):
+            _solve(wf, default_cluster(), "portfolio", DagHetPartConfig())
+
+
+class TestFailureSemantics:
+    def test_all_members_infeasible_is_a_structured_failure(self):
+        wf = generate_workflow("blast", 24, seed=1)
+        tiny = Cluster([Processor("p0", 1.0, 0.001)])
+        result = _solve(wf, tiny, "portfolio",
+                        PortfolioConfig(algorithms=("daghetmem", "daghetpart")))
+        assert not result.success
+        assert result.failure.kind == "NoFeasibleMappingError"
+        assert math.isinf(result.makespan)
+        assert result.failure.unplaced_tasks == wf.n_tasks
+
+    def test_one_feasible_member_suffices(self):
+        # daghetmem needs k >= number of memory-peaks it packs; on a
+        # single roomy processor both members degenerate but still map
+        wf = generate_workflow("blast", 24, seed=1)
+        cluster = scaled_cluster_for(wf, default_cluster())
+        result = _solve(wf, cluster, "portfolio",
+                        PortfolioConfig(algorithms=("daghetmem",)))
+        assert result.success
+        assert result.extra["portfolio_winner"] == "DagHetMem"
+
+    def test_registry_metadata(self):
+        info = get_algorithm("portfolio")
+        assert "meta" in info.capabilities
+        assert info.config_cls is PortfolioConfig
+
+
+class TestCacheFingerprint:
+    """The portfolio's cache key tracks what determines its result."""
+
+    def _fingerprint(self, config):
+        from repro.api import request_fingerprint
+        wf = generate_workflow("blast", 24, seed=0)
+        return request_fingerprint(ScheduleRequest(
+            workflow=wf, cluster=default_cluster(), algorithm="portfolio",
+            config=config, want_mapping=False))
+
+    def test_parallel_knob_does_not_change_the_fingerprint(self):
+        # parallel is execution-only: same computation, same cache line
+        assert self._fingerprint(PortfolioConfig(parallel=0)) == \
+            self._fingerprint(PortfolioConfig(parallel=4))
+
+    def test_none_config_keys_like_an_explicit_default(self):
+        # AlgorithmSpec("portfolio") sends config=None; it must share a
+        # cache line with PortfolioConfig() — same computation — and stay
+        # registry-sensitive like it
+        assert self._fingerprint(None) == self._fingerprint(PortfolioConfig())
+        before = self._fingerprint(None)
+
+        @register_algorithm("fpstub2", summary="stub")
+        def stub(workflow, cluster, config=None):
+            from repro.core.baseline import dag_het_mem
+            return dag_het_mem(workflow, cluster)
+
+        try:
+            assert self._fingerprint(None) != before
+        finally:
+            unregister_algorithm("fpstub2")
+        assert self._fingerprint(None) == before
+
+    def test_default_membership_is_registry_sensitive(self):
+        # algorithms=None resolves against the live registry, so a new
+        # registration must invalidate (miss) old default-portfolio lines
+        before = self._fingerprint(PortfolioConfig())
+
+        @register_algorithm("fpstub", summary="stub")
+        def stub(workflow, cluster, config=None):
+            from repro.core.baseline import dag_het_mem
+            return dag_het_mem(workflow, cluster)
+
+        try:
+            assert self._fingerprint(PortfolioConfig()) != before
+            # an explicit member list pins the computation regardless
+            pinned = PortfolioConfig(algorithms=("daghetmem", "daghetpart"))
+            fp = self._fingerprint(pinned)
+        finally:
+            unregister_algorithm("fpstub")
+        assert self._fingerprint(
+            PortfolioConfig(algorithms=("daghetmem", "daghetpart"))) == fp

@@ -258,3 +258,13 @@ class TestPaperScenario:
         instances = sum(src.count() for src in spec.workflows)
         assert instances == 5 + 7 * 11
         assert spec.size() == instances * 10 * 2
+
+    def test_refinement_constant_is_jsonable_and_expandable(self):
+        from repro.experiments.instances import REFINEMENT_SCENARIO
+        spec = ScenarioSpec.from_json(REFINEMENT_SCENARIO.to_json())
+        assert spec == REFINEMENT_SCENARIO
+        instances = sum(src.count() for src in spec.workflows)
+        assert spec.size() == instances * 3  # daghetpart, anneal, portfolio
+        # the per-algorithm configs rebuild through the registry
+        for alg in spec.algorithms:
+            alg.build_config()

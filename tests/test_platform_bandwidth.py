@@ -40,6 +40,30 @@ class TestModels:
         with pytest.raises(ValueError):
             LinkBandwidth({}, default_beta=0.0)
 
+    def test_link_self_pair_rejected(self):
+        # a self-link entry would serialize as a 2-element row to_dict
+        # cannot round-trip, and between() ignores it anyway (inf)
+        with pytest.raises(ValueError):
+            LinkBandwidth({("a", "a"): 2.0}, default_beta=1.0)
+
+    @pytest.mark.parametrize("model", [
+        UniformBandwidth(2.5),
+        LinkBandwidth({("a", "b"): 10.0, ("b", "c"): 0.25}, default_beta=1.0),
+        GroupedBandwidth({"a": "s1", "b": "s1", "c": "s2"}, 10.0, 0.5),
+    ])
+    def test_to_dict_roundtrip(self, model):
+        from repro.platform.bandwidth import model_from_dict
+        back = model_from_dict(model.to_dict())
+        assert back.to_dict() == model.to_dict()
+        for p, q in (("a", "b"), ("b", "a"), ("a", "c"), ("x", "y")):
+            assert back.between(p, q) == model.between(p, q)
+        assert back.default == model.default
+
+    def test_model_from_dict_unknown_type(self):
+        from repro.platform.bandwidth import model_from_dict
+        with pytest.raises(ValueError):
+            model_from_dict({"type": "warp"})
+
     def test_grouped(self):
         m = GroupedBandwidth({"a": "site1", "b": "site1", "c": "site2"},
                              intra_beta=10.0, inter_beta=0.5)
