@@ -32,7 +32,7 @@ import json
 import time
 from dataclasses import asdict
 
-from repro.api import AlgorithmSpec, AnnealConfig, ResultCache, run_scenario
+from repro.api import AlgorithmSpec, AnnealConfig, open_cache, run_scenario
 from repro.core.heuristic import DagHetPartConfig
 from repro.experiments.figures import corpus_scenario
 from repro.experiments.instances import synthetic_sizes
@@ -52,11 +52,12 @@ def log(msg: str) -> None:
     print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
 
-def run(spec, label, parallel=None, cache=None):
+def run(spec, label, parallel=None, cache=None, backend=None):
     """One scenario sweep, streamed through the repro.api batch façade."""
     log(f"running scenario {spec.name!r} on {label} ({spec.size()} requests)")
     start = time.time()
-    results = list(run_scenario(spec, parallel=parallel, cache=cache))
+    results = list(run_scenario(spec, parallel=parallel, cache=cache,
+                                backend=backend))
     log(f"  done in {time.time() - start:.0f}s")
     return results
 
@@ -64,15 +65,22 @@ def run(spec, label, parallel=None, cache=None):
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
-                        help="worker processes per scenario "
+                        help="workers per scenario "
                              "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend (serial/thread/process; "
+                             "default: routed per batch)")
+    parser.add_argument("--cache", metavar="URI",
+                        help="fingerprint-keyed result cache URI "
+                             "(sqlite:///path.db, jsonl://DIR, or a plain "
+                             "directory); makes the whole evaluation resumable")
     parser.add_argument("--cache-dir", metavar="DIR",
-                        help="fingerprint-keyed result cache; makes the whole "
-                             "evaluation resumable")
+                        help="legacy alias for --cache with a plain directory")
     args = parser.parse_args()
     sizes = synthetic_sizes()
     log(f"synthetic sizes: {sizes}")
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    uri = args.cache or args.cache_dir
+    cache = open_cache(uri) if uri else None
 
     def spec(name, **kwargs):
         return corpus_scenario(name, seed=SEED, sizes=sizes, config=CONFIG,
@@ -98,7 +106,8 @@ def main() -> None:
                                 AlgorithmSpec("portfolio"))),
                        "refinement suite"),
     }
-    result_sets = {key: run(scenario, label, args.parallel, cache)
+    result_sets = {key: run(scenario, label, args.parallel, cache,
+                            args.backend)
                    for key, (scenario, label) in plan.items()}
     if cache is not None:
         stats = cache.stats()

@@ -51,9 +51,23 @@ from repro.api.batch import (
     solve,
     solve_batch,
 )
-from repro.api.cache import ResultCache, request_fingerprint
+from repro.api.cache import CacheBackend, ResultCache, open_cache, request_fingerprint
+from repro.api.diff import diff_results, format_diff, load_result_lines
+from repro.api.exec import (
+    BACKEND_ENV,
+    ExecutionBackend,
+    ExecutionPolicy,
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    route,
+    solve_with_policy,
+    unregister_backend,
+)
 from repro.api.scenario import (
     AlgorithmSpec,
+    ExecutionSpec,
     FamilyGridSource,
     FileWorkflowSource,
     PlatformAxis,
@@ -72,6 +86,11 @@ __all__ = [
     "AlgorithmInfo",
     "AlgorithmSpec",
     "AnnealConfig",
+    "BACKEND_ENV",
+    "CacheBackend",
+    "ExecutionBackend",
+    "ExecutionPolicy",
+    "ExecutionSpec",
     "FailureInfo",
     "FamilyGridSource",
     "FileWorkflowSource",
@@ -88,18 +107,29 @@ __all__ = [
     "SweepPoint",
     "algorithm_infos",
     "available_algorithms",
+    "available_backends",
     "canonical_name",
     "collect_scenario",
+    "create_backend",
+    "diff_results",
     "expand",
+    "format_diff",
     "get_algorithm",
+    "get_backend",
     "iter_solve_batch",
+    "load_result_lines",
     "load_scenario",
+    "open_cache",
     "register_algorithm",
+    "register_backend",
     "request_fingerprint",
     "resolve_parallel",
+    "route",
     "run_scenario",
     "save_scenario",
     "solve",
     "solve_batch",
+    "solve_with_policy",
     "unregister_algorithm",
+    "unregister_backend",
 ]

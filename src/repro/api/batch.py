@@ -1,4 +1,4 @@
-"""``solve`` / ``solve_batch`` — one code path for serial and parallel runs.
+"""``solve`` / ``solve_batch`` — thin façades over pluggable execution backends.
 
 :func:`solve` executes one :class:`ScheduleRequest` end to end: registry
 lookup, optional memory scaling, timed algorithm run, failure capture into
@@ -7,16 +7,25 @@ a :class:`FailureInfo`, optional validation, envelope assembly.
 :func:`iter_solve_batch` streams results back in request order while
 keeping only a bounded window of requests in flight, so arbitrarily large
 sweeps (scenario cross-products, million-request corpora) never
-materialise all requests or results at once; it optionally consults a
-:class:`~repro.api.cache.ResultCache` so repeated sweeps are served from
-disk instead of recomputed.
+materialise all requests or results at once. *Where* the requests run is
+delegated to an :class:`~repro.api.exec.backends.ExecutionBackend`
+(``serial`` / ``thread`` / ``process``, or a registered plugin), chosen
+per batch by :func:`~repro.api.exec.routing.route` — explicit
+``backend=`` override, then ``REPRO_BACKEND``, then algorithm metadata.
+Per-request :class:`~repro.api.exec.policy.ExecutionPolicy` (timeout,
+retries) is enforced by the backend, so a timed-out request yields a
+structured ``FailureInfo(kind="timeout")`` instead of hanging the sweep.
+
+The façade optionally consults a :class:`~repro.api.cache.CacheBackend`
+so repeated sweeps are served from disk instead of recomputed; when no
+cache is attached, no fingerprint is ever computed (fingerprinting hashes
+the whole workflow — pure overhead on cache-less runs; see
+``benchmarks/test_batch_overhead.py`` for the guard).
 
 :func:`solve_batch` is the list-returning façade over the same iterator;
 results come back merged deterministically into the input order, so apart
 from the measured ``runtime`` fields a parallel batch is identical to a
-serial one. This is the machinery the corpus runner used to carry
-privately — serial CLI calls and parallel experiment sweeps now go
-through the same façade.
+serial one — and identical *across backends*.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import os
 import time
 import warnings
 from collections import deque
+from itertools import chain
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.api.envelopes import FailureInfo, ScheduleRequest, ScheduleResult
@@ -44,7 +54,9 @@ def solve(request: ScheduleRequest) -> ScheduleResult:
     Only algorithm failures (:class:`ReproError` subclasses — the paper's
     "platform too small" outcomes) are captured into
     ``ScheduleResult.failure``; programming errors (unknown algorithm
-    name, wrong config type) raise immediately.
+    name, wrong config type) raise immediately. The request's
+    ``ExecutionPolicy`` is *not* enforced here — that is the backend's
+    job (:func:`repro.api.exec.backends.solve_with_policy`).
     """
     info = get_algorithm(request.algorithm)  # raises on unknown names
 
@@ -108,18 +120,14 @@ def resolve_parallel(parallel: Optional[int]) -> int:
     return parallel
 
 
-def _worker(payload: Tuple[int, ScheduleRequest]) -> Tuple[int, ScheduleResult]:
-    """Top-level worker (must be picklable): one request, one result."""
-    index, request = payload
-    return index, solve(request)
-
-
 def _lookup(cache, request: ScheduleRequest):
     """(fingerprint, cached result) for a request; (None, None) when not cacheable.
 
-    Requests that want the live mapping back are never served from cache —
-    the mapping does not survive serialization, so a hit would silently
-    downgrade the result.
+    The ``cache is None`` fast path must stay first: fingerprinting hashes
+    the entire workflow and cluster, and a cache-less run must never pay
+    for it. Requests that want the live mapping back are never served from
+    cache either — the mapping does not survive serialization, so a hit
+    would silently downgrade the result.
     """
     if cache is None or request.want_mapping:
         return None, None
@@ -127,11 +135,19 @@ def _lookup(cache, request: ScheduleRequest):
     return fingerprint, cache.get(fingerprint, request)
 
 
+def _cacheable(result: ScheduleResult) -> bool:
+    """Timeouts are execution artifacts (machine/load-dependent), not
+    outcomes of the computation — caching one would poison every later
+    sweep with a failure that might not reproduce."""
+    return result.failure is None or result.failure.kind != "timeout"
+
+
 def iter_solve_batch(requests: Iterable[ScheduleRequest],
                      parallel: Optional[int] = None,
                      progress: Optional[ProgressHook] = None,
                      cache=None,
-                     window: Optional[int] = None) -> Iterator[ScheduleResult]:
+                     window: Optional[int] = None,
+                     backend: Optional[str] = None) -> Iterator[ScheduleResult]:
     """Stream results back in request order, never holding the whole batch.
 
     ``requests`` may be any iterable — including a lazy generator over a
@@ -141,88 +157,111 @@ def iter_solve_batch(requests: Iterable[ScheduleRequest],
     as in :func:`solve_batch`. ``progress`` is called in the parent, in
     request order, as each result is yielded.
 
-    ``cache`` is an optional :class:`repro.api.cache.ResultCache`:
+    ``backend`` overrides the execution backend (a registered name:
+    ``serial``, ``thread``, ``process``, ...); by default
+    :func:`~repro.api.exec.routing.route` picks one from the worker count,
+    ``REPRO_BACKEND``, and the *first* request's algorithm capabilities —
+    a lazy stream cannot be scanned ahead of time (:func:`solve_batch`,
+    holding the whole list, routes on every algorithm in it). On the
+    ``serial`` backend the semantics are bit-for-bit the classic loop:
+    one request pulled, solved, cached, yielded at a time.
+
+    ``cache`` is an optional :class:`repro.api.cache.CacheBackend`:
     requests whose fingerprint is already stored are served from disk
     without a ``solve`` call (their ``tags`` are taken from the incoming
     request, not the stored result), and every freshly computed result is
     appended to the cache before being yielded — a crashed sweep resumes
     where it stopped. Requests with ``want_mapping=True`` bypass the
-    cache, because the live mapping cannot be rehydrated from disk.
+    cache, because the live mapping cannot be rehydrated from disk;
+    timed-out results are never cached.
     """
-    workers = resolve_parallel(parallel)
-    if workers <= 1:
-        for index, request in enumerate(requests):
-            fingerprint, result = _lookup(cache, request)
-            if result is None:
-                result = solve(request)
-                if fingerprint is not None:
-                    cache.put(fingerprint, result)
-            if progress is not None:
-                progress(index, request, result)
-            yield result
-        return
+    from repro.api.exec.backends import create_backend
+    from repro.api.exec.routing import route
 
-    import multiprocessing
-
+    it = iter(requests)
     try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    window = max(int(window or 4 * workers), workers)
-    # entries are (index, request, fingerprint, ready result | None, future | None)
+        first = next(it)
+    except StopIteration:
+        return
+    workers = resolve_parallel(parallel)
+    engine = create_backend(route((first.algorithm,), backend=backend,
+                                  workers=workers))
+    if engine.name == "serial":
+        window = 1
+    else:
+        workers = max(workers, 1)
+        window = max(int(window or 4 * workers), workers)
+
+    # entries are (index, request, fingerprint, ready result | None,
+    # submission | None); cached hits carry a ready result, submitted
+    # requests a backend handle
     pending: deque = deque()
     inflight = 0
-    with ctx.Pool(processes=workers) as pool:
-        for index, request in enumerate(requests):
+
+    def drain_head() -> ScheduleResult:
+        nonlocal inflight
+        index, request, fingerprint, result, submission = pending.popleft()
+        if submission is not None:
+            result = submission.result()
+            inflight -= 1
+            if fingerprint is not None and _cacheable(result):
+                cache.put(fingerprint, result)
+        if progress is not None:
+            progress(index, request, result)
+        return result
+
+    engine.open(max(workers, 1))
+    try:
+        for index, request in enumerate(chain((first,), it)):
             fingerprint, hit = _lookup(cache, request)
             if hit is not None:
                 pending.append((index, request, fingerprint, hit, None))
             else:
-                future = pool.apply_async(_worker, ((index, request),))
-                pending.append((index, request, fingerprint, None, future))
+                pending.append((index, request, fingerprint, None,
+                                engine.submit(request)))
                 inflight += 1
-            # drain: cached heads stream immediately; a future head is only
-            # waited on once the in-flight window (or the pending queue,
-            # when cache hits pile up behind a slow miss) is full
-            while pending and (pending[0][4] is None or inflight >= window
+            # drain: ready heads (cache hits, completed submissions)
+            # stream immediately; an unfinished head is only waited on
+            # once the in-flight window (or the pending queue, when cache
+            # hits pile up behind a slow miss) is full
+            while pending and (pending[0][4] is None or pending[0][4].done()
+                               or inflight >= window
                                or len(pending) >= 4 * window):
-                idx, req, fp, result, future = pending.popleft()
-                if future is not None:
-                    _, result = future.get()
-                    inflight -= 1
-                    if fp is not None:
-                        cache.put(fp, result)
-                if progress is not None:
-                    progress(idx, req, result)
-                yield result
+                yield drain_head()
         while pending:
-            idx, req, fp, result, future = pending.popleft()
-            if future is not None:
-                _, result = future.get()
-                inflight -= 1
-                if fp is not None:
-                    cache.put(fp, result)
-            if progress is not None:
-                progress(idx, req, result)
-            yield result
+            yield drain_head()
+    finally:
+        engine.close()
 
 
 def solve_batch(requests: Iterable[ScheduleRequest],
                 parallel: Optional[int] = None,
                 progress: Optional[ProgressHook] = None,
-                cache=None) -> List[ScheduleResult]:
+                cache=None,
+                backend: Optional[str] = None) -> List[ScheduleResult]:
     """Run every request; results are returned in the input order.
 
-    ``parallel`` > 1 distributes requests over that many worker processes
-    (``None`` consults the ``REPRO_PARALLEL`` environment variable, ``-1``
-    uses every CPU). The fork start method shares the already-built
-    requests — and any custom algorithms registered before the call — with
-    the workers; where fork is unavailable the default start method is
-    used, which requires registrations to happen at import time.
-    ``progress`` is called in the parent, in request order, once per
-    request. ``cache`` is forwarded to :func:`iter_solve_batch`.
+    ``parallel`` > 1 distributes requests over that many workers of the
+    routed backend (``None`` consults the ``REPRO_PARALLEL`` environment
+    variable, ``-1`` uses every CPU); ``backend`` forces a specific
+    execution backend regardless of worker count. On the ``process``
+    backend the fork start method shares the already-built requests — and
+    any custom algorithms registered before the call — with the workers;
+    where fork is unavailable the default start method is used, which
+    requires registrations to happen at import time. ``progress`` is
+    called in the parent, in request order, once per request. ``cache``
+    is forwarded to :func:`iter_solve_batch`.
     """
+    from repro.api.exec.routing import route
+
     requests = list(requests)
     workers = min(resolve_parallel(parallel), len(requests))
+    if requests:
+        # unlike the lazily-streamed iterator, the whole list is in hand:
+        # route on every algorithm (a mixed batch with one io-bound
+        # request must not end up GIL-serialized on the thread backend)
+        backend = route(sorted({r.algorithm for r in requests}),
+                        backend=backend, workers=workers)
     return list(iter_solve_batch(requests, parallel=workers,
-                                 progress=progress, cache=cache))
+                                 progress=progress, cache=cache,
+                                 backend=backend))

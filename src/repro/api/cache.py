@@ -1,26 +1,39 @@
-"""On-disk result cache keyed by a stable request fingerprint.
+"""On-disk result caches keyed by a stable request fingerprint.
 
-A :class:`ResultCache` is a directory holding one append-only JSONL file;
-each line is ``{"fp": <fingerprint>, "result": <ScheduleResult.to_dict()>}``.
-Lines are flushed as they are written, so a crashed sweep leaves a valid
-prefix behind and the next run resumes where it stopped instead of
-recomputing (a truncated final line — the crash artifact — is skipped on
-load and repaired on the next write).
+Storage is pluggable behind the :class:`CacheBackend` interface —
+fingerprinting, hit/miss accounting, and the retag-on-hit contract are
+shared; a concrete backend only implements ``_read``/``_write``/
+``__len__``/``__contains__``. Two backends ship, selected by URI via
+:func:`open_cache`:
 
-Only a ``fingerprint → byte offset`` index is kept in memory; result
-payloads stay on disk and are read back lazily on a hit, so a cache over
-a million-request sweep costs the parent process megabytes, not the
-gigabytes the payloads occupy — the streaming batch iterator keeps its
-constant-memory contract even when fully cache-served.
+* :class:`ResultCache` (a plain directory path, or ``jsonl://DIR``) — a
+  directory holding one append-only JSONL file; each line is
+  ``{"fp": <fingerprint>, "result": <ScheduleResult.to_dict()>}``.
+  Lines are flushed as they are written, so a crashed sweep leaves a
+  valid prefix behind and the next run resumes where it stopped instead
+  of recomputing (a truncated final line — the crash artifact — is
+  skipped on load and repaired on the next write).
+* :class:`~repro.api.cache_sqlite.SqliteResultCache`
+  (``sqlite:///path.db``) — one SQLite file in WAL mode, committed per
+  put; the journal gives the same crash guarantee transactionally, and
+  lookups need no in-memory index at all.
+
+The JSONL backend keeps only a ``fingerprint → byte offset`` index in
+memory; result payloads stay on disk and are read back lazily on a hit,
+so a cache over a million-request sweep costs the parent process
+megabytes, not the gigabytes the payloads occupy — the streaming batch
+iterator keeps its constant-memory contract even when fully cache-served.
 
 The fingerprint (:func:`request_fingerprint`) hashes everything that
 determines the *outcome* of a solve — workflow structure and weights,
 cluster processors and interconnect, canonical algorithm name, config
 fields, and the ``scale_memory``/``validate`` knobs. It deliberately
 excludes ``tags`` (correlation metadata that does not influence the
-result) and ``want_mapping`` (which only controls whether the live
-mapping rides on the envelope): two requests for the same computation hit
-the same cache line no matter how they are labelled. On a hit the stored
+result), ``want_mapping`` (which only controls whether the live mapping
+rides on the envelope), and the execution ``policy`` (timeout/retry
+knobs that govern *how* the request runs, not what it computes): two
+requests for the same computation hit the same cache line no matter how
+they are labelled or executed. On a hit the stored
 result is rehydrated with the *incoming* request's tags (the stored
 ``extra`` — algorithm-reported outcome metadata — is kept, since the
 fingerprint keys the computation that produced it), so records rebuilt
@@ -114,7 +127,77 @@ def request_fingerprint(request: ScheduleRequest) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
+class CacheBackend:
+    """The storage-agnostic result-cache contract.
+
+    Subclasses implement ``_read(fingerprint)`` (the stored
+    :class:`ScheduleResult` or ``None``), ``_write(fingerprint, result)``
+    (persist one entry durably before returning), ``__len__`` and
+    ``__contains__``; everything callers see — fingerprinting, hit/miss
+    accounting, retag-on-hit, dedupe-on-put, context management — lives
+    here, so every backend behaves identically.
+    """
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    # -- what a storage backend must provide ---------------------------
+    def _read(self, fingerprint: str) -> Optional[ScheduleResult]:
+        raise NotImplementedError
+
+    def _write(self, fingerprint: str, result: ScheduleResult) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, fingerprint: str) -> bool:
+        raise NotImplementedError
+
+    # -- the shared behaviour ------------------------------------------
+    def fingerprint(self, request: ScheduleRequest) -> str:
+        return request_fingerprint(request)
+
+    def get(self, fingerprint: str,
+            request: Optional[ScheduleRequest] = None) -> Optional[ScheduleResult]:
+        """The stored result, retagged with the incoming request's tags.
+
+        Tags belong to the caller, so they are replaced wholesale; the
+        stored ``extra`` (``SchedulerOutput.extra`` — e.g. the
+        portfolio's winner) is kept, since it describes the computation,
+        which is what the fingerprint keys.
+        """
+        result = self._read(fingerprint)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if request is not None:
+            result = dataclasses.replace(result, tags=dict(request.tags))
+        return result
+
+    def put(self, fingerprint: str, result: ScheduleResult) -> None:
+        """Record a freshly computed result; duplicates are ignored."""
+        if fingerprint in self:
+            return
+        self._write(fingerprint, result)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "CacheBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for summaries: stored entries, hits, misses."""
+        return {"entries": len(self), "hits": self.hits, "misses": self.misses}
+
+
+class ResultCache(CacheBackend):
     """Append-only JSONL cache of :class:`ScheduleResult` envelopes.
 
     >>> cache = ResultCache("results-cache/")
@@ -128,13 +211,12 @@ class ResultCache:
     """
 
     def __init__(self, directory: str):
+        super().__init__()
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, CACHE_FILENAME)
         #: fingerprint -> byte offset of its line (payloads stay on disk)
         self._offsets: Dict[str, int] = {}
-        self.hits = 0
-        self.misses = 0
         self._load()
         self._fh = None  # append handle (binary), opened on first put
         self._rfh = None  # read handle (binary), opened on first hit
@@ -171,39 +253,20 @@ class ResultCache:
     def __contains__(self, fingerprint: str) -> bool:
         return fingerprint in self._offsets
 
-    def fingerprint(self, request: ScheduleRequest) -> str:
-        return request_fingerprint(request)
-
-    def get(self, fingerprint: str,
-            request: Optional[ScheduleRequest] = None) -> Optional[ScheduleResult]:
-        """The stored result, retagged with the incoming request's tags.
-
-        Tags belong to the caller, so they are replaced wholesale; the
-        stored ``extra`` (``SchedulerOutput.extra`` — e.g. the
-        portfolio's winner) is kept, since it describes the computation,
-        which is what the fingerprint keys.
-        """
+    def _read(self, fingerprint: str) -> Optional[ScheduleResult]:
         offset = self._offsets.get(fingerprint)
         if offset is None:
-            self.misses += 1
             return None
         if self._rfh is None:
             self._rfh = open(self.path, "rb")
         self._rfh.seek(offset)
         entry = self._parse(self._rfh.readline())
         if entry is None:  # defensive: index said yes, disk disagrees
-            self.misses += 1
             return None
-        self.hits += 1
-        result = ScheduleResult.from_dict(entry["result"])
-        if request is not None:
-            result = dataclasses.replace(result, tags=dict(request.tags))
-        return result
+        return ScheduleResult.from_dict(entry["result"])
 
-    def put(self, fingerprint: str, result: ScheduleResult) -> None:
-        """Record a freshly computed result; flushed line-by-line."""
-        if fingerprint in self._offsets:
-            return
+    def _write(self, fingerprint: str, result: ScheduleResult) -> None:
+        """Append one entry; flushed line-by-line."""
         if self._fh is None:
             # if a previous writer crashed mid-line, terminate the torn
             # fragment so the new entry starts on its own line
@@ -230,13 +293,40 @@ class ResultCache:
                 handle.close()
         self._fh = self._rfh = None
 
-    def __enter__(self) -> "ResultCache":
-        return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+#: URI scheme -> how :func:`open_cache` interprets the rest of the URI
+SQLITE_SCHEME = "sqlite://"
+JSONL_SCHEME = "jsonl://"
 
-    def stats(self) -> Dict[str, int]:
-        """Counters for summaries: stored entries, hits, misses."""
-        return {"entries": len(self._offsets),
-                "hits": self.hits, "misses": self.misses}
+
+def open_cache(uri: "str | CacheBackend") -> CacheBackend:
+    """A cache backend from a URI (or a pass-through for open backends).
+
+    * ``sqlite:///abs/path.db`` / ``sqlite://rel.db`` — the SQLite
+      backend (:class:`~repro.api.cache_sqlite.SqliteResultCache`);
+    * ``jsonl://DIR`` or a plain directory path — the JSONL
+      :class:`ResultCache`.
+
+    An already-open :class:`CacheBackend` is returned unchanged, so call
+    sites can accept "URI or backend" uniformly (the caller keeps
+    ownership — :func:`open_cache` only closes nothing it did not open).
+    """
+    if isinstance(uri, CacheBackend):
+        return uri
+    if not isinstance(uri, str):
+        raise TypeError(
+            f"expected a cache URI string or CacheBackend, "
+            f"got {type(uri).__name__}")
+    if uri.startswith(SQLITE_SCHEME):
+        from repro.api.cache_sqlite import SqliteResultCache
+        return SqliteResultCache(uri[len(SQLITE_SCHEME):])
+    if uri.startswith(JSONL_SCHEME):
+        return ResultCache(uri[len(JSONL_SCHEME):])
+    if "://" in uri:
+        # a typo'd or unsupported scheme must fail loudly, not become a
+        # literal directory named "sqlit://..." caching into the void
+        scheme = uri.split("://", 1)[0]
+        raise ValueError(
+            f"unknown cache URI scheme {scheme + '://'!r}; valid: "
+            f"{SQLITE_SCHEME!r}, {JSONL_SCHEME!r}, or a plain directory path")
+    return ResultCache(uri)

@@ -1,0 +1,218 @@
+"""Compare two result-JSONL dumps: aligned by record fingerprint.
+
+``repro scenario run --json`` writes one :class:`ScheduleResult` envelope
+per line. :func:`diff_results` aligns two such dumps by a *record
+fingerprint* — a hash of the identity fields (workflow, task count,
+cluster, bandwidth, algorithm, tags), everything that names the request a
+record answers — and reports what changed between the runs:
+
+* ``makespan_deltas``  — records present in both whose makespan moved by
+  more than ``tolerance`` (relative);
+* ``new_failures`` / ``fixed_failures`` — success flipped to failure or
+  back (the failure kind rides along);
+* ``only_in_a`` / ``only_in_b`` — requests missing from one side.
+
+Measured ``runtime`` and the sweep trace are deliberately ignored — two
+runs of the same scenario always differ there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: fields that identify the request a record answers (everything else is
+#: outcome or measurement). The algorithm *config* is not part of a
+#: result record, so a spec running one algorithm under several configs
+#: must distinguish them with a tag template (e.g.
+#: ``{"variant": "..."}``) — otherwise those records collapse to one
+#: fingerprint and are reported under the ``duplicates`` counter.
+IDENTITY_FIELDS = ("workflow", "n_tasks", "cluster", "bandwidth",
+                   "algorithm", "tags")
+
+
+def record_fingerprint(record: Dict[str, Any]) -> str:
+    """Stable hex digest of a result record's identity fields."""
+    payload = {name: record.get(name) for name in IDENTITY_FIELDS}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _label(record: Dict[str, Any]) -> str:
+    """Human-readable identity of one record for the report."""
+    instance = record.get("tags", {}).get("instance", record.get("workflow"))
+    return (f"{instance}/{record.get('algorithm')}"
+            f"@{record.get('cluster')}(beta={record.get('bandwidth')})")
+
+
+def load_result_lines(path: str) -> List[Dict[str, Any]]:
+    """Parse a result-JSONL file (blank lines skipped, bad lines rejected)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON result record: {exc}"
+                ) from None
+    return records
+
+
+@dataclass
+class ResultsDiff:
+    """Everything that differs between two result dumps."""
+
+    matched: int = 0
+    #: (label, makespan_a, makespan_b) with relative delta > tolerance
+    makespan_deltas: List[Tuple[str, Optional[float], Optional[float]]] = \
+        field(default_factory=list)
+    #: succeeded in A, failed in B: (label, failure kind in B)
+    new_failures: List[Tuple[str, str]] = field(default_factory=list)
+    #: failed in A, succeeded in B: (label, failure kind in A)
+    fixed_failures: List[Tuple[str, str]] = field(default_factory=list)
+    #: failed in both but differently: (label, kind in A, kind in B)
+    changed_failures: List[Tuple[str, str, str]] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+    #: duplicate fingerprints seen within one file (kept: first occurrence)
+    duplicates: int = 0
+    #: duplicate fingerprints whose *outcomes* disagree within one file —
+    #: the identity key cannot tell the records apart (same algorithm
+    #: under two configs with no distinguishing tag), so the comparison
+    #: is unreliable and the diff refuses to call it agreement
+    conflicts: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the runs agree on every shared record and cover the
+        same requests."""
+        return not (self.makespan_deltas or self.new_failures or
+                    self.fixed_failures or self.changed_failures or
+                    self.only_in_a or self.only_in_b or self.conflicts)
+
+
+def _outcome(record: Dict[str, Any]) -> Tuple[Any, Any]:
+    """What a record reports, runtime excluded: (makespan, failure kind)."""
+    failure = record.get("failure")
+    return (record.get("makespan"),
+            None if failure is None else failure.get("kind"))
+
+
+def _index(records: Iterable[Dict[str, Any]]
+           ) -> Tuple[Dict[str, Dict[str, Any]], int, List[str]]:
+    indexed: Dict[str, Dict[str, Any]] = {}
+    duplicates = 0
+    conflicts: List[str] = []
+    for record in records:
+        fp = record_fingerprint(record)
+        if fp in indexed:
+            duplicates += 1
+            if _outcome(indexed[fp]) != _outcome(record):
+                # same identity, different outcome: the key cannot tell
+                # these records apart, so dropping one would hide a real
+                # difference — refuse to report agreement
+                conflicts.append(_label(record))
+            continue
+        indexed[fp] = record
+    return indexed, duplicates, conflicts
+
+
+def diff_results(a_records: Iterable[Dict[str, Any]],
+                 b_records: Iterable[Dict[str, Any]],
+                 tolerance: float = 1e-9) -> ResultsDiff:
+    """Align two record sets by fingerprint and report the differences.
+
+    ``tolerance`` is relative: makespans ``a`` and ``b`` count as a delta
+    when ``|a - b| > tolerance * max(|a|, |b|)``. A ``null`` makespan
+    (failed run) never produces a makespan delta — the failure flip is
+    reported instead.
+    """
+    a_index, a_dupes, a_conflicts = _index(a_records)
+    b_index, b_dupes, b_conflicts = _index(b_records)
+    diff = ResultsDiff(duplicates=a_dupes + b_dupes,
+                       conflicts=sorted(set(a_conflicts + b_conflicts)))
+
+    for fp, a_rec in a_index.items():
+        b_rec = b_index.get(fp)
+        if b_rec is None:
+            diff.only_in_a.append(_label(a_rec))
+            continue
+        diff.matched += 1
+        a_fail, b_fail = a_rec.get("failure"), b_rec.get("failure")
+        if a_fail is None and b_fail is not None:
+            diff.new_failures.append(
+                (_label(a_rec), b_fail.get("kind", "?")))
+        elif a_fail is not None and b_fail is None:
+            diff.fixed_failures.append(
+                (_label(a_rec), a_fail.get("kind", "?")))
+        elif a_fail is not None and b_fail is not None:
+            # both failed: a changed kind (e.g. infeasible -> timeout) is
+            # a materially different outcome, not agreement
+            if a_fail.get("kind") != b_fail.get("kind"):
+                diff.changed_failures.append(
+                    (_label(a_rec), a_fail.get("kind", "?"),
+                     b_fail.get("kind", "?")))
+        elif a_fail is None and b_fail is None:
+            ma, mb = a_rec.get("makespan"), b_rec.get("makespan")
+            if ma is not None and mb is not None:
+                scale = max(abs(ma), abs(mb))
+                if abs(ma - mb) > tolerance * scale:
+                    diff.makespan_deltas.append((_label(a_rec), ma, mb))
+    for fp, b_rec in b_index.items():
+        if fp not in a_index:
+            diff.only_in_b.append(_label(b_rec))
+    diff.only_in_a.sort()
+    diff.only_in_b.sort()
+    return diff
+
+
+def format_diff(diff: ResultsDiff, a_name: str = "A",
+                b_name: str = "B", limit: int = 20) -> str:
+    """The human-readable report ``repro scenario diff`` prints."""
+    lines = [f"matched   : {diff.matched} record(s)"]
+    if diff.duplicates:
+        lines.append(f"duplicates: {diff.duplicates} "
+                     f"(first occurrence kept per file)")
+
+    def section(title: str, rows: List[str]) -> None:
+        lines.append(f"{title} ({len(rows)}):")
+        for row in rows[:limit]:
+            lines.append(f"  {row}")
+        if len(rows) > limit:
+            lines.append(f"  ... and {len(rows) - limit} more")
+
+    if diff.makespan_deltas:
+        def pct(ma: float, mb: float) -> str:
+            return f" ({100 * (mb - ma) / ma:+.3f}%)" if ma else ""
+        section("makespan deltas", [
+            f"{label}: {ma:.6g} -> {mb:.6g}{pct(ma, mb)}"
+            for label, ma, mb in diff.makespan_deltas])
+    if diff.new_failures:
+        section(f"new failures in {b_name}",
+                [f"{label}: {kind}" for label, kind in diff.new_failures])
+    if diff.fixed_failures:
+        section(f"failures fixed in {b_name}",
+                [f"{label}: {kind}" for label, kind in diff.fixed_failures])
+    if diff.changed_failures:
+        section("failure kind changed", [
+            f"{label}: {kind_a} -> {kind_b}"
+            for label, kind_a, kind_b in diff.changed_failures])
+    if diff.only_in_a:
+        section(f"only in {a_name} (missing from {b_name})", diff.only_in_a)
+    if diff.only_in_b:
+        section(f"only in {b_name} (new requests)", diff.only_in_b)
+    if diff.conflicts:
+        section("ambiguous records (same identity, different outcome — "
+                "add a distinguishing tag, e.g. a config variant)",
+                diff.conflicts)
+    if diff.clean:
+        lines.append("runs agree: same requests, same outcomes, "
+                     "same makespans (modulo runtime)")
+    return "\n".join(lines)

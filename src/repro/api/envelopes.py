@@ -43,11 +43,15 @@ _FAILURE_KINDS = {
     for cls in (
         _errors.ReproError,
         _errors.CyclicWorkflowError,
+        _errors.ExecutionTimeoutError,
         _errors.InvalidPartitionError,
         _errors.NoFeasibleMappingError,
         _errors.PartitionSplitError,
     )
 }
+#: the execution-layer failure kind (not an exception class name): a
+#: request exceeded its ExecutionPolicy.timeout_s on some backend
+_FAILURE_KINDS["timeout"] = _errors.ExecutionTimeoutError
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,10 @@ class ScheduleRequest:
     :class:`Mapping` from the result — batch runs over large corpora use
     this to keep worker→parent transfers small. ``tags`` travel to the
     result untouched (instance/family metadata, user correlation ids).
+    ``policy`` is an optional
+    :class:`~repro.api.exec.policy.ExecutionPolicy` (per-request timeout,
+    retries, backoff) enforced by every execution backend; like ``tags``
+    it is an execution knob, excluded from the result-cache fingerprint.
     """
 
     workflow: Workflow
@@ -98,6 +106,24 @@ class ScheduleRequest:
     validate: bool = False
     want_mapping: bool = True
     tags: TMapping[str, Any] = field(default_factory=dict)
+    policy: Optional[Any] = None
+
+    def __post_init__(self):
+        if self.policy is None:
+            return
+        # accept a plain policy dict (the spec-file idiom) but normalize
+        # at construction — a bad policy must fail here, not as an opaque
+        # AttributeError inside a backend worker
+        from repro.api.exec.policy import ExecutionPolicy
+        if isinstance(self.policy, ExecutionPolicy):
+            return
+        if isinstance(self.policy, TMapping):
+            object.__setattr__(self, "policy",
+                               ExecutionPolicy.from_dict(self.policy))
+            return
+        raise TypeError(
+            f"policy must be an ExecutionPolicy, a mapping of its fields, "
+            f"or None; got {type(self.policy).__name__}")
 
     # ------------------------------------------------------------------
     # JSON round trip (requests are fully serializable: workflow weights,
@@ -134,6 +160,7 @@ class ScheduleRequest:
             "validate": self.validate,
             "want_mapping": self.want_mapping,
             "tags": dict(self.tags),
+            "policy": None if self.policy is None else self.policy.to_dict(),
         }
 
     @classmethod
@@ -155,6 +182,10 @@ class ScheduleRequest:
                     f"stored request carries a {stored['type']!r}")
             config = config_cls(**{k: _tupled(v)
                                    for k, v in stored["fields"].items()})
+        policy = data.get("policy")
+        if policy is not None:
+            from repro.api.exec.policy import ExecutionPolicy
+            policy = ExecutionPolicy.from_dict(policy)
         return cls(
             workflow=workflow_from_dict(data["workflow"]),
             cluster=Cluster.from_dict(data["cluster"]),
@@ -164,6 +195,7 @@ class ScheduleRequest:
             validate=bool(data.get("validate", False)),
             want_mapping=bool(data.get("want_mapping", True)),
             tags=dict(data.get("tags", {})),
+            policy=policy,
         )
 
     def to_json(self) -> str:

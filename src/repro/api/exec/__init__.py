@@ -1,0 +1,49 @@
+"""repro.api.exec — pluggable execution backends and per-request policy.
+
+* :mod:`repro.api.exec.policy` — frozen, JSON-round-trippable
+  :class:`ExecutionPolicy` (per-request ``timeout_s``, ``retries``,
+  ``retry_backoff``, ``on_timeout``), carried on ``ScheduleRequest`` and
+  enforced uniformly by every backend;
+* :mod:`repro.api.exec.backends` — the :class:`ExecutionBackend`
+  protocol, the ``@register_backend`` registry, and the three shipped
+  engines (``serial``, ``thread``, ``process``);
+* :mod:`repro.api.exec.routing` — :func:`route`, the capabilities-aware
+  override > ``REPRO_BACKEND`` > metadata dispatcher.
+"""
+
+from repro.api.exec.backends import (
+    BackendInfo,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    Submission,
+    ThreadBackend,
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    solve_with_policy,
+    unregister_backend,
+)
+from repro.api.exec.policy import ON_TIMEOUT_CHOICES, ExecutionPolicy
+from repro.api.exec.routing import BACKEND_ENV, IO_BOUND_CAPABILITY, route
+
+__all__ = [
+    "BACKEND_ENV",
+    "BackendInfo",
+    "ExecutionBackend",
+    "ExecutionPolicy",
+    "IO_BOUND_CAPABILITY",
+    "ON_TIMEOUT_CHOICES",
+    "ProcessBackend",
+    "SerialBackend",
+    "Submission",
+    "ThreadBackend",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "register_backend",
+    "route",
+    "solve_with_policy",
+    "unregister_backend",
+]

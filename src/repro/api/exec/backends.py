@@ -1,0 +1,369 @@
+"""Execution backends: *where* a request runs, behind one interface.
+
+A backend is a tiny executor: :meth:`~ExecutionBackend.open` with a
+worker count, :meth:`~ExecutionBackend.submit` one
+:class:`~repro.api.envelopes.ScheduleRequest` at a time, get a
+:class:`Submission` handle back, :meth:`~ExecutionBackend.close` when the
+batch is drained. Ordering, bounded-window streaming, cache consultation
+and progress hooks all stay in the batch façade
+(:func:`repro.api.batch.iter_solve_batch`) — a backend only decides how
+the ``solve`` call executes.
+
+Backends register exactly like algorithms do (same canonical names, same
+duplicate rejection): ``@register_backend("mybackend")``. Three ship:
+
+``serial``   in-process, synchronous — ``submit`` returns a completed
+             handle, so the façade's streaming is bit-for-bit the classic
+             serial loop (one request pulled, one result yielded);
+``thread``   a ``ThreadPoolExecutor`` — the GIL makes it pointless for
+             CPU-bound scheduling, but it is the right engine for
+             cache-hit-dominated re-runs and I/O-heavy custom algorithms,
+             and it shares the parent's registry (no fork needed);
+``process``  a ``multiprocessing`` pool (fork where available), the
+             engine CPU-bound sweeps want — absorbed from the old
+             hard-coded ``iter_solve_batch`` pool logic.
+
+Every backend enforces the request's
+:class:`~repro.api.exec.policy.ExecutionPolicy` through the shared
+:func:`solve_with_policy`, so timeouts and retries behave identically
+everywhere. Timeouts are implemented with a watchdog: the attempt runs in
+a daemon thread that is abandoned when the budget expires, and the
+request completes with a structured ``FailureInfo(kind="timeout")`` —
+the batch keeps streaming instead of hanging. (The abandoned attempt may
+keep burning one CPU until it finishes; a timed-out *process* worker is
+likewise left to its pool slot. Pick ``timeout_s`` as a guard rail, not
+as a throttle.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.api.envelopes import FailureInfo, ScheduleRequest, ScheduleResult
+from repro.api.registry import canonical_name, get_algorithm
+
+
+# ----------------------------------------------------------------------
+# Policy enforcement (shared by every backend)
+# ----------------------------------------------------------------------
+def _timeout_result(request: ScheduleRequest, timeout_s: float,
+                    elapsed: float) -> ScheduleResult:
+    """The structured envelope of a timed-out attempt.
+
+    The cluster is resolved exactly as ``solve`` resolves it (memory
+    scaling applied), so a timed-out record aligns with every other
+    outcome of the same request — ``scenario diff`` matches them by
+    cluster name. ``makespan=inf`` like any other failure; identical on
+    every backend by construction.
+    """
+    info = get_algorithm(request.algorithm)
+    cluster = request.cluster
+    if request.scale_memory:
+        from repro.experiments.instances import scaled_cluster_for
+        cluster = scaled_cluster_for(request.workflow, cluster)
+    return ScheduleResult(
+        algorithm=info.display_name,
+        workflow=request.workflow.name,
+        n_tasks=request.workflow.n_tasks,
+        cluster=cluster.name,
+        bandwidth=cluster.bandwidth,
+        makespan=float("inf"),
+        runtime=elapsed,
+        n_blocks=0,
+        failure=FailureInfo(
+            kind="timeout",
+            message=f"scheduling exceeded timeout_s={timeout_s:g}"),
+        tags=dict(request.tags),
+    )
+
+
+def _attempt(request: ScheduleRequest,
+             timeout_s: Optional[float]) -> ScheduleResult:
+    """One attempt, watchdogged when a timeout budget is set."""
+    from repro.api.batch import solve  # façade module; imported lazily
+
+    if timeout_s is None:
+        return solve(request)
+    box: Dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = solve(request)
+        except BaseException as exc:  # re-raised in the caller below
+            box["error"] = exc
+
+    start = time.perf_counter()
+    # the "repro-exec" prefix marks this thread as a backend worker for
+    # route()'s nested-batch guard: an algorithm that itself calls
+    # solve_batch (the portfolio) must not fork from this threaded parent
+    watchdog = threading.Thread(target=target, daemon=True,
+                                name="repro-exec-attempt")
+    watchdog.start()
+    watchdog.join(timeout_s)
+    if watchdog.is_alive():
+        return _timeout_result(request, timeout_s,
+                               time.perf_counter() - start)
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def solve_with_policy(request: ScheduleRequest) -> ScheduleResult:
+    """``solve`` under the request's :class:`ExecutionPolicy`.
+
+    Requests without a policy take the plain ``solve`` path (zero
+    overhead — no watchdog thread, no attempt loop). See
+    :mod:`repro.api.exec.policy` for the retry/timeout semantics.
+    """
+    policy = request.policy
+    if policy is None:
+        from repro.api.batch import solve
+        return solve(request)
+    result = None
+    for attempt in range(policy.attempts):
+        if attempt:
+            backoff = policy.backoff_s(attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+        result = _attempt(request, policy.timeout_s)
+        if result.failure is None:
+            return result
+        if result.failure.kind == "timeout" and policy.on_timeout == "fail":
+            return result
+    return result
+
+
+# ----------------------------------------------------------------------
+# The backend interface
+# ----------------------------------------------------------------------
+class Submission(Protocol):
+    """Handle for one submitted request."""
+
+    def done(self) -> bool:
+        """Non-blocking: has the result landed?"""
+        ...
+
+    def result(self) -> ScheduleResult:
+        """Block until the result is available and return it."""
+        ...
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What an execution engine must implement.
+
+    ``open(workers)`` acquires resources (pools); ``submit`` hands over
+    one request and returns a :class:`Submission`; ``close`` releases
+    everything. Submissions must complete in bounded time once submitted
+    (the façade only ever blocks on the oldest one).
+    """
+
+    name: str
+
+    def open(self, workers: int) -> None: ...
+
+    def submit(self, request: ScheduleRequest) -> Submission: ...
+
+    def close(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# Backend registry (mirrors the algorithm registry's contract)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registry entry: a backend factory plus its self-description."""
+
+    name: str  # canonical key, e.g. "process"
+    factory: Callable[[], ExecutionBackend]
+    summary: str = ""
+    #: declared traits the router matches against (e.g. "parallel")
+    capabilities: Tuple[str, ...] = ()
+
+
+_BACKENDS: Dict[str, BackendInfo] = {}
+
+
+def register_backend(name: str, *, summary: str = "",
+                     capabilities: Tuple[str, ...] = ()):
+    """Class decorator adding an execution backend to the registry.
+
+    Names are canonicalized exactly like algorithm names (case and
+    ``-``/``_``/spaces ignored); duplicates are rejected.
+    """
+    key = canonical_name(name)
+    if not key:
+        raise ValueError(f"backend name {name!r} is empty after canonicalization")
+
+    def decorator(cls):
+        if key in _BACKENDS:
+            raise ValueError(
+                f"backend {name!r} already registered; use "
+                f"unregister_backend first to replace it")
+        _BACKENDS[key] = BackendInfo(name=key, factory=cls, summary=summary,
+                                     capabilities=tuple(capabilities))
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove an entry (plugin teardown / tests); unknown names are a no-op."""
+    _BACKENDS.pop(canonical_name(name), None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted canonical names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> BackendInfo:
+    """Resolve a (canonicalized) name; unknown names list the valid ones."""
+    info = _BACKENDS.get(canonical_name(name))
+    if info is None:
+        valid = ", ".join(available_backends()) or "(none registered)"
+        raise ValueError(f"unknown execution backend {name!r}; available: {valid}")
+    return info
+
+
+def create_backend(name: str) -> ExecutionBackend:
+    """A fresh backend instance for one batch."""
+    return get_backend(name).factory()
+
+
+# ----------------------------------------------------------------------
+# The three shipped backends
+# ----------------------------------------------------------------------
+class _Completed:
+    """A submission that finished at submit time (serial backend)."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: ScheduleResult):
+        self._result = result
+
+    def done(self) -> bool:
+        return True
+
+    def result(self) -> ScheduleResult:
+        return self._result
+
+
+@register_backend("serial", summary="in-process, one request at a time "
+                                    "(the reference semantics)")
+class SerialBackend:
+    """Synchronous execution; ``submit`` returns a completed handle."""
+
+    name = "serial"
+
+    def open(self, workers: int) -> None:  # workers ignored by design
+        pass
+
+    def submit(self, request: ScheduleRequest) -> Submission:
+        return _Completed(solve_with_policy(request))
+
+    def close(self) -> None:
+        pass
+
+
+class _FutureSubmission:
+    """Adapter: ``concurrent.futures.Future`` → :class:`Submission`."""
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future):
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self) -> ScheduleResult:
+        return self._future.result()
+
+
+@register_backend("thread", capabilities=("parallel",),
+                  summary="thread pool; right for cache-hit-dominated "
+                          "re-runs and I/O-heavy algorithms (GIL-bound "
+                          "for CPU-heavy solves)")
+class ThreadBackend:
+    """``ThreadPoolExecutor``-backed execution, sharing the parent registry."""
+
+    name = "thread"
+
+    def __init__(self):
+        self._pool = None
+
+    def open(self, workers: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-exec")
+
+    def submit(self, request: ScheduleRequest) -> Submission:
+        return _FutureSubmission(self._pool.submit(solve_with_policy, request))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            # cancel_futures: an abandoned batch (caller broke out of the
+            # stream early) must not keep burning CPU on queued solves or
+            # block interpreter exit on them
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+def _process_worker(request: ScheduleRequest) -> ScheduleResult:
+    """Top-level worker (must be picklable): one request, one result."""
+    return solve_with_policy(request)
+
+
+class _AsyncResultSubmission:
+    """Adapter: ``multiprocessing`` ``AsyncResult`` → :class:`Submission`."""
+
+    __slots__ = ("_async",)
+
+    def __init__(self, async_result):
+        self._async = async_result
+
+    def done(self) -> bool:
+        return self._async.ready()
+
+    def result(self) -> ScheduleResult:
+        return self._async.get()
+
+
+@register_backend("process", capabilities=("parallel", "isolated"),
+                  summary="multiprocessing pool (fork where available); "
+                          "the engine for CPU-bound sweeps")
+class ProcessBackend:
+    """Worker-process execution; absorbs the classic pool logic.
+
+    The fork start method shares already-built requests — and any custom
+    algorithms registered before the batch — with the workers; where fork
+    is unavailable the default start method is used, which requires
+    registrations to happen at import time.
+    """
+
+    name = "process"
+
+    def __init__(self):
+        self._pool = None
+
+    def open(self, workers: int) -> None:
+        import multiprocessing
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        self._pool = ctx.Pool(processes=max(1, workers))
+
+    def submit(self, request: ScheduleRequest) -> Submission:
+        return _AsyncResultSubmission(
+            self._pool.apply_async(_process_worker, (request,)))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None

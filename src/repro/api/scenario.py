@@ -55,8 +55,9 @@ from typing import (
 )
 
 from repro.api.batch import ProgressHook, iter_solve_batch
-from repro.api.cache import ResultCache
+from repro.api.cache import CacheBackend, open_cache
 from repro.api.envelopes import ScheduleRequest, ScheduleResult, _tupled
+from repro.api.exec.policy import ExecutionPolicy
 from repro.api.registry import get_algorithm
 
 
@@ -325,6 +326,58 @@ DEFAULT_ALGORITHMS = (AlgorithmSpec("daghetmem"), AlgorithmSpec("daghetpart"))
 
 
 # ----------------------------------------------------------------------
+# Execution block
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a scenario wants to be executed (all fields optional).
+
+    ``backend`` names a registered execution backend (``serial`` /
+    ``thread`` / ``process``); ``parallel`` is the worker count
+    (``-1`` = all CPUs); ``policy`` is the per-request
+    :class:`~repro.api.exec.policy.ExecutionPolicy` attached to every
+    expanded request; ``cache`` is a default cache URI
+    (``sqlite:///path.db``, ``jsonl://dir``, or a plain directory).
+    Everything here is a *default* — explicit ``run_scenario`` arguments
+    and CLI flags override it, and :func:`~repro.api.exec.routing.route`
+    still applies when ``backend`` is left unset.
+    """
+
+    backend: Optional[str] = None
+    parallel: Optional[int] = None
+    policy: Optional[ExecutionPolicy] = None
+    cache: Optional[str] = None
+
+    def __post_init__(self):
+        if self.backend is not None:
+            from repro.api.exec.backends import get_backend
+            object.__setattr__(self, "backend", get_backend(self.backend).name)
+        if self.parallel is not None:
+            object.__setattr__(self, "parallel", int(self.parallel))
+        if self.policy is not None and not isinstance(self.policy,
+                                                     ExecutionPolicy):
+            object.__setattr__(self, "policy",
+                               ExecutionPolicy.from_dict(dict(self.policy)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"backend": self.backend,
+                "parallel": self.parallel,
+                "policy": None if self.policy is None else
+                self.policy.to_dict(),
+                "cache": self.cache}
+
+    @classmethod
+    def from_dict(cls, data: TMapping[str, Any]) -> "ExecutionSpec":
+        known = {"backend", "parallel", "policy", "cache"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown execution field(s) {sorted(unknown)}; "
+                f"valid: {sorted(known)}")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+# ----------------------------------------------------------------------
 # The spec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -347,6 +400,9 @@ class ScenarioSpec:
     scale_memory: bool = True
     validate: bool = False
     description: str = ""
+    #: optional execution defaults (backend, workers, per-request policy,
+    #: cache URI); explicit run_scenario/CLI arguments override it
+    execution: Optional[ExecutionSpec] = None
 
     def __post_init__(self):
         if not self.workflows:
@@ -380,10 +436,15 @@ class ScenarioSpec:
             "tags": dict(self.tags),
             "scale_memory": self.scale_memory,
             "validate": self.validate,
+            "execution": None if self.execution is None else
+            self.execution.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: TMapping[str, Any]) -> "ScenarioSpec":
+        execution = data.get("execution")
+        if execution is not None:
+            execution = ExecutionSpec.from_dict(execution)
         return cls(
             name=data["name"],
             description=data.get("description", ""),
@@ -398,6 +459,7 @@ class ScenarioSpec:
             tags=dict(data.get("tags", {})),
             scale_memory=bool(data.get("scale_memory", True)),
             validate=bool(data.get("validate", False)),
+            execution=execution,
         )
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -451,6 +513,7 @@ def expand(spec: ScenarioSpec) -> Iterator[ScheduleRequest]:
                    alg.build_config())
                   for alg in spec.algorithms]
     platforms = [(axis, tuple(axis.clusters())) for axis in spec.platforms]
+    policy = spec.execution.policy if spec.execution is not None else None
     for source in spec.workflows:
         for inst in source.instances():
             for axis, points in platforms:
@@ -481,29 +544,42 @@ def expand(spec: ScenarioSpec) -> Iterator[ScheduleRequest]:
                             validate=spec.validate,
                             want_mapping=False,
                             tags=tags,
+                            policy=policy,
                         )
 
 
 def run_scenario(spec: ScenarioSpec,
                  parallel: Optional[int] = None,
-                 cache: Union[None, str, ResultCache] = None,
+                 cache: Union[None, str, CacheBackend] = None,
                  progress: Optional[ProgressHook] = None,
-                 window: Optional[int] = None) -> Iterator[ScheduleResult]:
+                 window: Optional[int] = None,
+                 backend: Optional[str] = None) -> Iterator[ScheduleResult]:
     """Stream the scenario's results in expansion order.
 
-    ``cache`` is a directory path or an open
-    :class:`~repro.api.cache.ResultCache`; previously computed requests
+    ``cache`` is a cache URI (``sqlite:///path.db``, ``jsonl://dir``, or
+    a plain directory path) or an open
+    :class:`~repro.api.cache.CacheBackend`; previously computed requests
     are served from it without a ``solve`` call, and fresh results are
     appended as they complete, so an interrupted sweep resumes for free.
-    ``parallel``/``progress``/``window`` behave as in
-    :func:`~repro.api.batch.iter_solve_batch`.
+    ``parallel``/``progress``/``window``/``backend`` behave as in
+    :func:`~repro.api.batch.iter_solve_batch`. Arguments left at ``None``
+    fall back to the spec's ``execution`` block before the usual
+    environment defaults apply.
     """
+    execution = spec.execution
+    if execution is not None:
+        if parallel is None:
+            parallel = execution.parallel
+        if backend is None:
+            backend = execution.backend
+        if cache is None:
+            cache = execution.cache
     own_cache = isinstance(cache, str)
-    store = ResultCache(cache) if own_cache else cache
+    store = open_cache(cache) if own_cache else cache
     try:
         yield from iter_solve_batch(expand(spec), parallel=parallel,
                                     progress=progress, cache=store,
-                                    window=window)
+                                    window=window, backend=backend)
     finally:
         if own_cache:
             store.close()
@@ -511,8 +587,9 @@ def run_scenario(spec: ScenarioSpec,
 
 def collect_scenario(spec: ScenarioSpec,
                      parallel: Optional[int] = None,
-                     cache: Union[None, str, ResultCache] = None,
-                     progress: Optional[ProgressHook] = None) -> List[ScheduleResult]:
+                     cache: Union[None, str, CacheBackend] = None,
+                     progress: Optional[ProgressHook] = None,
+                     backend: Optional[str] = None) -> List[ScheduleResult]:
     """:func:`run_scenario`, materialised (small grids / tests)."""
     return list(run_scenario(spec, parallel=parallel, cache=cache,
-                             progress=progress))
+                             progress=progress, backend=backend))

@@ -10,8 +10,11 @@ Commands
 ``experiment``  regenerate one of the paper's tables/figures;
 ``scenario``    run a declarative scenario spec (JSON) — the cross-product
                 of workflow sources x platforms x algorithms — streamed
-                through the batch façade with an optional on-disk result
-                cache, so re-runs and crashed sweeps resume for free;
+                through the batch façade on a selectable execution backend
+                (``--backend serial|thread|process``) with an optional
+                result cache (``--cache sqlite:///path.db`` or a
+                directory), so re-runs and crashed sweeps resume for
+                free; ``scenario diff`` compares two result JSONL dumps;
 ``info``        print cluster presets (Tables 2-3) and corpus sizes.
 """
 
@@ -23,12 +26,17 @@ import sys
 from typing import List, Optional
 
 from repro.api import (
-    ResultCache,
+    ExecutionPolicy,
     ScheduleRequest,
     available_algorithms,
+    available_backends,
+    diff_results,
+    format_diff,
+    load_result_lines,
     load_scenario,
+    open_cache,
     run_scenario,
-    solve,
+    solve_with_policy,
 )
 from repro.core.heuristic import DagHetPartConfig
 from repro.experiments import figures
@@ -133,15 +141,21 @@ def cmd_schedule(args) -> int:
     # exceed processor memories by design; validating those would reject
     # the very thing the baseline is meant to show
     oblivious = "memory-oblivious" in get_algorithm(args.algorithm).capabilities
-    result = solve(ScheduleRequest(
+    policy = ExecutionPolicy(timeout_s=args.timeout) \
+        if args.timeout is not None else None
+    result = solve_with_policy(ScheduleRequest(
         workflow=wf,
         cluster=cluster,
         algorithm=args.algorithm,
         config=_cli_config(args.algorithm, args.k_strategy),
         scale_memory=args.scale_memory,
         validate=not oblivious,
+        policy=policy,
     ))
     if result.failure is not None:
+        if result.failure.kind == "timeout":
+            print(f"timed out: {result.failure.message}", file=sys.stderr)
+            return 3
         print(f"no feasible mapping: {result.failure.message}", file=sys.stderr)
         return 2
     mapping = result.mapping
@@ -226,7 +240,25 @@ def _plot_rows(name: str, rows) -> None:
 
 def cmd_scenario_run(args) -> int:
     """``repro scenario run``: execute a spec JSON, streamed and cached."""
+    import dataclasses
+
+    from repro.api.scenario import ExecutionSpec
+
     spec = load_scenario(args.spec)
+    if args.timeout is not None or args.retries is not None:
+        # CLI knobs override only the fields they name (including to 0 —
+        # "--retries 0" switches a spec's retries off); the rest of the
+        # spec's policy (its timeout, backoff, on_timeout) is kept
+        base = spec.execution or ExecutionSpec()
+        overrides = {}
+        if args.timeout is not None:
+            overrides["timeout_s"] = args.timeout
+        if args.retries is not None:
+            overrides["retries"] = args.retries
+        policy = dataclasses.replace(base.policy or ExecutionPolicy(),
+                                     **overrides)
+        spec = dataclasses.replace(
+            spec, execution=dataclasses.replace(base, policy=policy))
     total = spec.size()
     print(f"scenario  : {spec.name}" +
           (f" — {spec.description}" if spec.description else ""))
@@ -235,7 +267,8 @@ def cmd_scenario_run(args) -> int:
           f"{sum(a.count() for a in spec.platforms)} platform point(s) x "
           f"{len(spec.algorithms)} algorithm(s))")
 
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    uri = args.cache or args.cache_dir
+    cache = open_cache(uri) if uri else None
     progress = None
     if args.progress:
         def progress(index, request, result):
@@ -245,14 +278,16 @@ def cmd_scenario_run(args) -> int:
                   file=sys.stderr)
 
     out_fh = open(args.json, "w") if args.json else None
-    n_ok = n_failed = 0
+    n_ok = n_failed = n_timeout = 0
     makespans = []
     try:
         for result in run_scenario(spec, parallel=args.parallel, cache=cache,
-                                   progress=progress):
+                                   progress=progress, backend=args.backend):
             if result.success:
                 n_ok += 1
                 makespans.append(result.makespan)
+            elif result.failure.kind == "timeout":
+                n_timeout += 1
             else:
                 n_failed += 1
             if out_fh is not None:
@@ -260,19 +295,33 @@ def cmd_scenario_run(args) -> int:
     finally:
         if out_fh is not None:
             out_fh.close()
+        stats = cache.stats() if cache is not None else None
         if cache is not None:
             cache.close()
 
-    print(f"scheduled : {n_ok}/{total} ({n_failed} infeasible)")
+    timeouts = f", {n_timeout} timed out" if n_timeout else ""
+    print(f"scheduled : {n_ok}/{total} ({n_failed} infeasible{timeouts})")
     if makespans:
         print(f"makespan  : min={min(makespans):.2f} max={max(makespans):.2f}")
-    if cache is not None:
-        stats = cache.stats()
+    if stats is not None:
         print(f"cache     : hits={stats['hits']} misses={stats['misses']} "
               f"entries={stats['entries']} ({cache.path})")
     if args.json:
         print(f"results written to {args.json} (one envelope per line)")
     return 0
+
+
+def cmd_scenario_diff(args) -> int:
+    """``repro scenario diff``: compare two result JSONL dumps.
+
+    Exit code 0 when the runs agree (same requests, same outcomes, same
+    makespans within ``--tolerance``), 1 when they differ — usable as a
+    CI regression gate.
+    """
+    diff = diff_results(load_result_lines(args.a), load_result_lines(args.b),
+                        tolerance=args.tolerance)
+    print(format_diff(diff, a_name=args.a, b_name=args.b))
+    return 0 if diff.clean else 1
 
 
 def cmd_info(args) -> int:
@@ -315,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-scale-memory", dest="scale_memory",
                    action="store_false",
                    help="disable the paper's proportional memory scaling")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock budget in seconds; exceeding it reports "
+                        "a structured timeout instead of hanging")
     p.add_argument("--gantt", action="store_true",
                    help="print an ASCII Gantt chart of the schedule")
     p.add_argument("--json", help="write the task-level schedule to a file")
@@ -340,16 +392,37 @@ def build_parser() -> argparse.ArgumentParser:
     pr = ssub.add_parser("run", help="run a ScenarioSpec JSON file")
     pr.add_argument("spec", help="path to the scenario spec (.json)")
     pr.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
-                    help="fan requests out over N worker processes "
+                    help="fan requests out over N workers "
                          "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
-    pr.add_argument("--cache-dir", metavar="DIR",
-                    help="on-disk result cache; previously computed requests "
+    pr.add_argument("--backend", choices=sorted(available_backends()),
+                    default=None,
+                    help="execution backend (default: routed from worker "
+                         "count, $REPRO_BACKEND, and algorithm metadata)")
+    pr.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-request wall-clock budget; exceeded requests "
+                         "report FailureInfo(kind='timeout')")
+    pr.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="extra attempts per failed request (0 switches a "
+                         "spec's retries off; default: the spec's policy)")
+    pr.add_argument("--cache", metavar="URI",
+                    help="result cache URI: sqlite:///path.db, jsonl://DIR, "
+                         "or a plain directory; previously computed requests "
                          "are served from it and new results appended, so "
                          "re-runs and interrupted sweeps resume")
+    pr.add_argument("--cache-dir", metavar="DIR",
+                    help="legacy alias for --cache with a plain directory")
     pr.add_argument("--json", metavar="FILE",
                     help="write result envelopes to FILE as JSONL (streamed)")
     pr.add_argument("--progress", action="store_true")
     pr.set_defaults(func=cmd_scenario_run)
+
+    pd = ssub.add_parser(
+        "diff", help="compare two result JSONL dumps (exit 1 on differences)")
+    pd.add_argument("a", help="baseline results (.jsonl)")
+    pd.add_argument("b", help="candidate results (.jsonl)")
+    pd.add_argument("--tolerance", type=float, default=1e-9,
+                    help="relative makespan tolerance (default 1e-9)")
+    pd.set_defaults(func=cmd_scenario_diff)
 
     p = sub.add_parser("info", help="show presets and corpus configuration")
     p.set_defaults(func=cmd_info)

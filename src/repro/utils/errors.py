@@ -49,6 +49,22 @@ class NoFeasibleMappingError(ReproError):
         self.unplaced_tasks = unplaced_tasks
 
 
+class ExecutionTimeoutError(ReproError):
+    """Raised (or recorded) when a request exceeds its execution policy's
+    per-request ``timeout_s``.
+
+    Unlike the scheduling failures above this is an *execution* outcome,
+    not a property of the instance: the same request may succeed on a
+    faster machine or with a looser policy. The batch façade records it as
+    a structured ``FailureInfo(kind="timeout")`` instead of hanging the
+    sweep, and never caches it.
+    """
+
+    def __init__(self, message: str, timeout_s: float | None = None):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
 class PartitionSplitError(ReproError):
     """Raised when a block cannot be split any further.
 

@@ -226,3 +226,135 @@ def _parses(line: bytes) -> bool:
         return True
     except (ValueError, UnicodeDecodeError):
         return False
+
+
+# ----------------------------------------------------------------------
+# The CacheBackend interface: both storage backends, one behaviour suite
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["jsonl", "sqlite"])
+def make_cache(request, tmp_path):
+    """Factory opening the same on-disk cache again and again."""
+    from repro.api import open_cache
+    kind = request.param
+    uri = (f"sqlite://{tmp_path}/cache.db" if kind == "sqlite"
+           else str(tmp_path / "cache-dir"))
+    return lambda: open_cache(uri)
+
+
+class TestCacheBackendContract:
+    """The suite every backend must pass (retag, dedupe, reopen, stats)."""
+
+    def test_put_get_roundtrip_and_retagging(self, make_cache):
+        request = _request(tags={"instance": "a"})
+        result = solve(request)
+        with make_cache() as cache:
+            fp = cache.fingerprint(request)
+            assert cache.get(fp) is None
+            cache.put(fp, result)
+            relabelled = _request(tags={"instance": "b", "extra": 1})
+            got = cache.get(cache.fingerprint(relabelled), relabelled)
+        assert got.tags == {"instance": "b", "extra": 1}
+        assert got.makespan == result.makespan
+        assert got.runtime == result.runtime
+
+    def test_survives_reopen(self, make_cache):
+        request = _request()
+        result = solve(request)
+        with make_cache() as cache:
+            cache.put(cache.fingerprint(request), result)
+        with make_cache() as reopened:
+            assert len(reopened) == 1
+            assert reopened.get(reopened.fingerprint(request), request) == result
+
+    def test_reopen_without_close_is_crash_safe(self, make_cache):
+        """Every completed put is durable even when close() never ran —
+        the sqlite analogue of the JSONL torn-tail recovery."""
+        request = _request()
+        other = _request(scale_memory=False)
+        cache = make_cache()
+        cache.put(cache.fingerprint(request), solve(request))
+        cache.put(cache.fingerprint(other), solve(other))
+        # no close(): simulates the process dying between puts
+        with make_cache() as reopened:
+            assert len(reopened) == 2
+            assert reopened.get(reopened.fingerprint(request), request) \
+                is not None
+        cache.close()
+
+    def test_duplicate_put_ignored(self, make_cache):
+        request = _request()
+        result = solve(request)
+        with make_cache() as cache:
+            fp = cache.fingerprint(request)
+            cache.put(fp, result)
+            cache.put(fp, dataclasses.replace(result, runtime=99.0))
+            assert len(cache) == 1
+            assert cache.get(fp).runtime != 99.0
+
+    def test_stats_and_contains(self, make_cache):
+        request = _request()
+        with make_cache() as cache:
+            fp = cache.fingerprint(request)
+            cache.get(fp)
+            cache.put(fp, solve(request))
+            cache.get(fp)
+            assert fp in cache
+            assert "0" * 64 not in cache
+            assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_served_through_iter_solve_batch(self, make_cache):
+        from repro.api import iter_solve_batch
+        requests = [_request(), _request(scale_memory=False)]
+        with make_cache() as cache:
+            first = list(iter_solve_batch(requests, cache=cache))
+        with make_cache() as cache:
+            second = list(iter_solve_batch(requests, cache=cache))
+            assert cache.stats()["hits"] == 2
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+
+class TestOpenCacheUri:
+    def test_plain_directory_is_jsonl(self, tmp_path):
+        from repro.api import open_cache
+        with open_cache(str(tmp_path / "d")) as cache:
+            assert isinstance(cache, ResultCache)
+
+    def test_jsonl_scheme(self, tmp_path):
+        from repro.api import open_cache
+        with open_cache(f"jsonl://{tmp_path}/d") as cache:
+            assert isinstance(cache, ResultCache)
+            assert cache.directory == f"{tmp_path}/d"
+
+    def test_sqlite_scheme_absolute(self, tmp_path):
+        # sqlite:// + /abs/path — i.e. sqlite:///abs/path, three slashes
+        from repro.api import open_cache
+        from repro.api.cache_sqlite import SqliteResultCache
+        with open_cache(f"sqlite://{tmp_path}/c.db") as cache:
+            assert isinstance(cache, SqliteResultCache)
+            assert cache.path == f"{tmp_path}/c.db"
+
+    def test_sqlite_scheme_relative(self, tmp_path, monkeypatch):
+        from repro.api import open_cache
+        from repro.api.cache_sqlite import SqliteResultCache
+        monkeypatch.chdir(tmp_path)
+        with open_cache("sqlite://rel.db") as cache:
+            assert isinstance(cache, SqliteResultCache)
+        assert (tmp_path / "rel.db").exists()
+
+    def test_open_backend_passes_through(self, tmp_path):
+        from repro.api import open_cache
+        cache = ResultCache(str(tmp_path / "d"))
+        assert open_cache(cache) is cache
+        cache.close()
+
+    def test_non_string_rejected(self):
+        from repro.api import open_cache
+        with pytest.raises(TypeError, match="cache URI"):
+            open_cache(42)
+
+    def test_unknown_scheme_fails_loudly(self, tmp_path):
+        from repro.api import open_cache
+        for uri in ("sqlit://typo.db", "redis://host/0", "s3://bucket/key"):
+            with pytest.raises(ValueError, match="unknown cache URI scheme"):
+                open_cache(uri)
+        assert not (tmp_path / "sqlit:").exists()

@@ -248,6 +248,89 @@ class TestRunScenario:
         assert len(calls) == spec.size() - 2  # the two cached ones skipped
 
 
+class TestExecutionBlock:
+    """The optional ``execution`` block: spec-level backend/policy/cache."""
+
+    def _spec_with_execution(self, **kwargs):
+        from repro.api import ExecutionSpec
+        return tiny_spec(execution=ExecutionSpec(**kwargs))
+
+    def test_round_trips_with_policy(self):
+        from repro.api import ExecutionPolicy
+        spec = self._spec_with_execution(
+            backend="thread", parallel=2, cache="sqlite://cache.db",
+            policy=ExecutionPolicy(timeout_s=60.0, retries=1))
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.execution.policy.timeout_s == 60.0
+
+    def test_absent_block_round_trips_as_none(self):
+        spec = tiny_spec()
+        data = json.loads(spec.to_json())
+        assert data["execution"] is None
+        assert ScenarioSpec.from_json(spec.to_json()).execution is None
+        # pre-execution-block spec files (no key at all) still load
+        del data["execution"]
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_policy_from_plain_dict(self):
+        from repro.api import ExecutionSpec
+        spec = ExecutionSpec(policy={"timeout_s": 5.0, "retries": 2})
+        assert spec.policy.timeout_s == 5.0 and spec.policy.retries == 2
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            self._spec_with_execution(backend="quantum")
+
+    def test_unknown_field_rejected(self):
+        from repro.api.scenario import ExecutionSpec
+        with pytest.raises(ValueError, match="unknown execution field"):
+            ExecutionSpec.from_dict({"bakend": "serial"})
+
+    def test_expand_attaches_policy_to_every_request(self):
+        from repro.api import ExecutionPolicy
+        policy = ExecutionPolicy(timeout_s=30.0)
+        spec = self._spec_with_execution(policy=policy)
+        requests = list(expand(spec))
+        assert requests and all(r.policy == policy for r in requests)
+        assert all(r.policy is None for r in expand(tiny_spec()))
+
+    def test_run_scenario_uses_spec_backend_and_cache(self, tmp_path,
+                                                      monkeypatch):
+        from repro.api import ExecutionSpec
+        import repro.api.exec.backends as backends_module
+        created = []
+        real = backends_module.create_backend
+        monkeypatch.setattr(backends_module, "create_backend",
+                            lambda name: created.append(name) or real(name))
+        uri = f"sqlite://{tmp_path}/spec-cache.db"
+        spec = tiny_spec(execution=ExecutionSpec(backend="thread",
+                                                 parallel=2, cache=uri))
+        first = list(run_scenario(spec))
+        assert created == ["thread"]
+        # the spec's cache URI was honoured: a re-run is fully served
+        calls = []
+        real_solve = batch_module.solve
+        monkeypatch.setattr(batch_module, "solve",
+                            lambda req: calls.append(req) or real_solve(req))
+        second = list(run_scenario(spec))
+        assert calls == []
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k != "runtime"}
+        assert [strip(r) for r in first] == [strip(r) for r in second]
+
+    def test_explicit_arguments_override_spec(self, monkeypatch):
+        from repro.api import ExecutionSpec
+        import repro.api.exec.backends as backends_module
+        created = []
+        real = backends_module.create_backend
+        monkeypatch.setattr(backends_module, "create_backend",
+                            lambda name: created.append(name) or real(name))
+        spec = tiny_spec(execution=ExecutionSpec(backend="thread"))
+        list(run_scenario(spec, backend="serial"))
+        assert created == ["serial"]
+
+
 class TestPaperScenario:
     def test_constant_is_jsonable_and_counts(self):
         from repro.experiments.instances import PAPER_SCENARIO
