@@ -1,3 +1,14 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    description="Memory-constrained workflow mapping onto heterogeneous "
+                "platforms (ICPP 2024 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # numpy backs the array kernels and the compiled CSR views; the
+    # pure-python reference kernels (REPRO_KERNEL=reference) cover every
+    # feature without it, but the default `auto` selection expects it
+    install_requires=["numpy"],
+)

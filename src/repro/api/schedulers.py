@@ -13,7 +13,6 @@ see :func:`repro.api.registry.register_algorithm`.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -25,6 +24,7 @@ from repro.api.registry import (
 )
 from repro.core.anneal import AnnealConfig, anneal_refine
 from repro.core.baseline import dag_het_mem
+from repro.core.cpack import critical_path_pack, rank_order, upward_ranks
 from repro.core.evaluator import MakespanEvaluator
 from repro.core.heuristic import DagHetPartConfig, dag_het_part_sweep
 from repro.core.mapping import BlockAssignment, Mapping
@@ -68,40 +68,9 @@ class DagHetPartScheduler:
                                sweep=outcome.sweep)
 
 
-def _upward_ranks(wf: Workflow, avg_speed: float, beta: float) -> Dict[Hashable, float]:
-    """HEFT upward ranks with mean execution cost and the default bandwidth."""
-    ranks: Dict[Hashable, float] = {}
-    for u in reversed(wf.topological_order()):
-        best_child = 0.0
-        for v, c in wf.out_edges(u):
-            cand = c / beta + ranks[v]
-            if cand > best_child:
-                best_child = cand
-        ranks[u] = wf.work(u) / avg_speed + best_child
-    return ranks
-
-
-def _rank_order(wf: Workflow, ranks: Dict[Hashable, float]) -> List[Hashable]:
-    """Decreasing-rank list order, kept topological by Kahn with a max-heap.
-
-    With positive work weights HEFT's plain sort by decreasing rank is
-    already topological; running it through Kahn makes the order valid for
-    zero-work tasks too, with ties broken by insertion order so the
-    result is deterministic.
-    """
-    sequence = {u: i for i, u in enumerate(wf.tasks())}
-    indeg = {u: wf.in_degree(u) for u in wf.tasks()}
-    heap = [(-ranks[u], sequence[u], u) for u in wf.tasks() if indeg[u] == 0]
-    heapq.heapify(heap)
-    order: List[Hashable] = []
-    while heap:
-        _, _, u = heapq.heappop(heap)
-        order.append(u)
-        for v in wf.children(u):
-            indeg[v] -= 1
-            if indeg[v] == 0:
-                heapq.heappush(heap, (-ranks[v], sequence[v], v))
-    return order
+# rank helpers are shared with the critical-path packer (repro.core.cpack)
+_upward_ranks = upward_ranks
+_rank_order = rank_order
 
 
 @register_algorithm(
@@ -132,8 +101,8 @@ class HeftListScheduler:
         procs = cluster.processors
         avg_speed = sum(p.speed for p in procs) / len(procs)
         beta = cluster.bandwidth_model.default
-        ranks = _upward_ranks(workflow, avg_speed, beta)
-        order = _rank_order(workflow, ranks)
+        ranks = upward_ranks(workflow, avg_speed, beta)
+        order = rank_order(workflow, ranks)
 
         # cut the priority order into <= k contiguous, work-balanced blocks
         n_blocks = min(cluster.k, workflow.n_tasks)
@@ -188,6 +157,26 @@ class HeftListScheduler:
                 requirement=result.peak, traversal=result.order))
         return SchedulerOutput(
             mapping=Mapping(workflow, cluster, assignments, algorithm="HeftList"))
+
+
+@register_algorithm(
+    "cpack", display_name="CPack",
+    capabilities=("makespan-optimizing", "list-scheduler", "memory-packing"),
+    summary="greedy critical-path packer: decreasing upward-rank order cut "
+            "into contiguous memory-feasible segments, packed onto distinct "
+            "processors fastest-first; O(n log n) packing decisions, never "
+            "violates the memory constraint")
+class CPackScheduler:
+    """The cheap contender (see :mod:`repro.core.cpack`); takes no config.
+
+    Unlike ``heftlist`` it is memory-aware — every emitted block fits its
+    processor — so it qualifies for the portfolio's default membership
+    and gives the expensive heuristics a floor to beat on big instances.
+    """
+
+    def run(self, workflow: Workflow, cluster: Cluster,
+            config: Optional[object] = None) -> SchedulerOutput:
+        return SchedulerOutput(mapping=critical_path_pack(workflow, cluster))
 
 
 @register_algorithm(

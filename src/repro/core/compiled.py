@@ -1,0 +1,253 @@
+"""Compiled CSR view of a :class:`QuotientGraph` for the array kernels.
+
+The quotient mutates in two very different rhythms: *structure* (merges,
+unmerges, rebuilds) changes rarely outside Step 3, while the *mapping*
+(``set_proc``, direct ``blk.proc`` writes) changes on every probe of the
+local searches. :class:`CompiledQuotient` therefore freezes only the
+structural half — block interning, work vector, CSR adjacency, the
+level decomposition of the DAG, and the level-grouped edge gather
+tables the sweep needs — keyed on
+:attr:`QuotientGraph.structure_version`. Mapping state (the speed
+vector, per-edge link bandwidths) is cached separately, keyed on
+:attr:`QuotientGraph.version`, which every :meth:`~QuotientGraph.set_proc`
+bumps; all core call sites route processor changes through ``set_proc``,
+and code that writes ``blk.proc`` directly must call
+:meth:`QuotientGraph.touch` afterwards (the evaluator's
+``invalidate()`` does) or the cached speeds go stale.
+
+The sweep processes one level at a time, sinks first:
+
+    l[v] = work[v] / speed[v] + max(0, max_children(c / beta + l[child]))
+
+Per-node child maxima come from ``np.maximum.reduceat`` over edges
+pre-grouped by level at compile time — ``max`` is associative, and the
+elementwise divide/add match the scalar arithmetic of the reference
+kernel IEEE-exactly, which is what makes the two kernels bit-for-bit
+interchangeable (asserted by the differential suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.quotient import BlockId, QuotientGraph
+from repro.platform.cluster import Cluster
+from repro.utils.errors import CyclicWorkflowError
+from repro.workflow.compiled import _peel_levels, _require_numpy
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+class _LevelSlab:
+    """Edge gather tables for one level of the sweep (compile-time)."""
+
+    __slots__ = ("nodes", "nz_pos", "edge_take", "child_slots", "costs",
+                 "starts")
+
+    def __init__(self, nodes, nz_pos, edge_take, child_slots, costs, starts):
+        self.nodes = nodes            # block slots at this level
+        self.nz_pos = nz_pos          # positions within `nodes` having children
+        self.edge_take = edge_take    # out-edge positions, grouped per nz node
+        self.child_slots = child_slots  # out_indices[edge_take]
+        self.costs = costs            # out_costs[edge_take]
+        self.starts = starts          # reduceat segment starts into edge_take
+
+
+class CompiledQuotient:
+    """Frozen structural snapshot of a quotient graph (see module docstring).
+
+    ``cyclic`` is True when the quotient currently contains a cycle; the
+    snapshot is still cached (Step 3 probes cyclic states transiently) and
+    :meth:`bottom_weights` raises exactly like the reference kernel.
+    """
+
+    __slots__ = ("structure_version", "ids", "index", "work", "n",
+                 "out_indptr", "out_indices", "out_costs", "edge_src",
+                 "cyclic", "levels", "_map_key", "_speeds", "_edge_beta")
+
+    @classmethod
+    def of(cls, q: QuotientGraph) -> "CompiledQuotient":
+        """The cached snapshot for ``q``'s current structure (compile once)."""
+        cq = q._compiled
+        if cq is None or cq.structure_version != q.structure_version:
+            cq = cls.compile(q)
+            q._compiled = cq
+        return cq
+
+    @classmethod
+    def compile(cls, q: QuotientGraph) -> "CompiledQuotient":
+        _require_numpy()
+        self = cls()
+        self.structure_version = q.structure_version
+        self._map_key = None
+        self._speeds = None
+        self._edge_beta = None
+        ids: List[BlockId] = list(q.blocks)
+        n = len(ids)
+        self.ids = ids
+        self.n = n
+        index = {bid: i for i, bid in enumerate(ids)}
+        self.index = index
+        self.work = np.fromiter((q.blocks[b].work for b in ids),
+                                dtype=np.float64, count=n)
+
+        m = sum(len(q.succ[b]) for b in ids)
+        out_indptr = np.zeros(n + 1, dtype=np.intp)
+        out_indices = np.empty(m, dtype=np.intp)
+        out_costs = np.empty(m, dtype=np.float64)
+        pos = 0
+        for i, b in enumerate(ids):
+            for child, c in q.succ[b].items():
+                out_indices[pos] = index[child]
+                out_costs[pos] = c
+                pos += 1
+            out_indptr[i + 1] = pos
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.out_costs = out_costs
+        self.edge_src = np.repeat(np.arange(n, dtype=np.intp),
+                                  np.diff(out_indptr))
+
+        # in-CSR (indices only; the peel needs parents, not costs)
+        rev = np.argsort(out_indices, kind="stable")
+        in_indices = self.edge_src[rev]
+        in_indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(out_indices, minlength=n), out=in_indptr[1:])
+
+        topo, level, n_levels = _peel_levels(
+            n, out_indptr, out_indices, in_indptr, in_indices)
+        if topo is None:
+            self.cyclic = True
+            self.levels = []
+            return self
+        self.cyclic = False
+        self.levels = self._build_slabs(n, level, n_levels)
+        return self
+
+    def _build_slabs(self, n, level, n_levels) -> List[_LevelSlab]:
+        """Group nodes and their out-edges by level, sinks (level 0) first."""
+        order = np.argsort(level, kind="stable")
+        bounds = np.searchsorted(level[order], np.arange(n_levels + 1))
+        outdeg = np.diff(self.out_indptr)
+        slabs: List[_LevelSlab] = []
+        for lv in range(n_levels):
+            nodes = order[bounds[lv]:bounds[lv + 1]]
+            counts = outdeg[nodes]
+            nz_pos = np.nonzero(counts)[0]
+            if nz_pos.size:
+                nz_nodes = nodes[nz_pos]
+                nz_counts = counts[nz_pos]
+                total = int(nz_counts.sum())
+                offsets = np.concatenate(
+                    ([0], np.cumsum(nz_counts)[:-1])).astype(np.intp)
+                edge_take = (np.repeat(self.out_indptr[nz_nodes] - offsets,
+                                       nz_counts)
+                             + np.arange(total, dtype=np.intp))
+                slabs.append(_LevelSlab(
+                    nodes=nodes, nz_pos=nz_pos, edge_take=edge_take,
+                    child_slots=self.out_indices[edge_take],
+                    costs=self.out_costs[edge_take],
+                    starts=offsets))
+            else:
+                slabs.append(_LevelSlab(nodes, nz_pos, None, None, None, None))
+        return slabs
+
+    # ------------------------------------------------------------------
+    def bottom_weights(self, q: QuotientGraph, cluster: Cluster,
+                       default_speed: float = 1.0) -> Dict[BlockId, float]:
+        """Eq. (1) for every block, bit-identical to the reference kernel."""
+        if self.cyclic:
+            raise CyclicWorkflowError(
+                message="makespan undefined: quotient graph is cyclic")
+        n = self.n
+        if n == 0:
+            return {}
+        # the mapping changes on every probe of the local searches but
+        # only through set_proc (or touch()), so version-keyed caching
+        # turns the O(n) python attribute walk into a no-op between
+        # mapping changes
+        map_key = (q.version, id(cluster), default_speed)
+        if self._map_key != map_key:
+            blocks = q.blocks
+            dirty = q._proc_dirty
+            same_ctx = (self._map_key is not None
+                        and self._map_key[1] == map_key[1]
+                        and self._map_key[2] == map_key[2])
+            if (same_ctx and self._speeds is not None and dirty is not None
+                    and self._edge_beta is None):
+                # only known blocks changed proc under the uniform
+                # interconnect: patch their speed entries in place
+                index = self.index
+                speeds_vec = self._speeds
+                for bid in dirty:
+                    i = index.get(bid)
+                    if i is not None:
+                        p = blocks[bid].proc
+                        speeds_vec[i] = (p.speed if p is not None
+                                         else default_speed)
+                dirty.clear()
+            else:
+                self._speeds = np.fromiter(
+                    (blocks[b].proc.speed if blocks[b].proc is not None
+                     else default_speed for b in self.ids),
+                    dtype=np.float64, count=n)
+                self._edge_beta = self._edge_bandwidths(q, cluster)
+                # full snapshot: the dirty set is consumed wholesale
+                q._proc_dirty = set()
+            self._map_key = map_key
+        speeds = self._speeds
+        edge_beta = self._edge_beta
+
+        l = np.empty(n, dtype=np.float64)
+        work = self.work
+        for slab in self.levels:
+            nodes = slab.nodes
+            own = work[nodes] / speeds[nodes]
+            if slab.nz_pos is not None and slab.nz_pos.size:
+                if edge_beta is None:  # uniform interconnect: scalar beta
+                    term = slab.costs / cluster.bandwidth
+                else:
+                    term = slab.costs / edge_beta[slab.edge_take]
+                cand = term + l[slab.child_slots]
+                seg = np.maximum.reduceat(cand, slab.starts)
+                best = np.zeros(nodes.shape[0])
+                best[slab.nz_pos] = np.maximum(seg, 0.0)
+                l[nodes] = own + best
+            else:
+                l[nodes] = own
+        return dict(zip(self.ids, l.tolist()))
+
+    def _edge_bandwidths(self, q: QuotientGraph, cluster: Cluster):
+        """Per-edge link bandwidth, or None for the uniform scalar shortcut.
+
+        Mirrors :func:`repro.core.makespan.link_rule`: an undecided
+        endpoint uses the model's conservative default, same-processor
+        links are ``inf`` under the per-pair models (``c / inf == 0.0``).
+        """
+        from repro.platform.bandwidth import UniformBandwidth
+
+        model = cluster.bandwidth_model
+        if isinstance(model, UniformBandwidth):
+            return None
+        blocks = q.blocks
+        procs: List[Optional[object]] = []
+        seen: Dict[int, int] = {}
+        codes = np.empty(self.n, dtype=np.intp)
+        for i, b in enumerate(self.ids):
+            p = blocks[b].proc
+            key = -1 if p is None else id(p)
+            code = seen.get(key)
+            if code is None:
+                code = len(procs)
+                seen[key] = code
+                procs.append(p)
+            codes[i] = code
+        k = len(procs)
+        B = np.empty((k, k), dtype=np.float64)
+        for i, p in enumerate(procs):
+            for j, r in enumerate(procs):
+                B[i, j] = cluster.link_bandwidth(p, r)
+        return B[codes[self.edge_src], codes[self.out_indices]]

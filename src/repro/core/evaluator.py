@@ -24,6 +24,13 @@ touched. Results are bit-for-bit identical to the full recompute: every
 vertex weight is produced by the same arithmetic over the same adjacency
 iteration order as :func:`repro.core.makespan.bottom_weights`.
 
+Full recomputes run on the active kernel
+(:mod:`repro.core.kernels` — the vectorized array sweep when selected),
+and the delta syncs then patch the same weight table the kernel
+produced; because the kernels are bit-for-bit interchangeable, mixing
+kernel-computed full passes with scalar delta updates never introduces a
+divergence.
+
 Change tracking
 ---------------
 The evaluator subscribes to the quotient's op log
@@ -106,9 +113,12 @@ class MakespanEvaluator:
         """Force a full recompute on the next query.
 
         Needed only after mutations the op log cannot see (direct
-        ``blk.proc`` assignment, manual adjacency edits).
+        ``blk.proc`` assignment, manual adjacency edits). Also bumps the
+        quotient version via :meth:`QuotientGraph.touch` so the compiled
+        view's mapping caches (speed/bandwidth vectors) refresh too.
         """
         self._dirty = True
+        self.q.touch()
 
     # ------------------------------------------------------------------
     # convenience: tentative / committed single mutations
@@ -179,11 +189,14 @@ class MakespanEvaluator:
         mentioned = set()
         for op in ops:
             kind = op[0]
-            if kind == "proc":
+            if kind == "proc" and op[1] is not None:
                 mentioned.add(op[1])
             elif kind in ("merge", "unmerge"):
                 mentioned.update(op[1:])
-            else:  # "add" / "rebuild": the structure changed wholesale
+            else:
+                # "add" / "rebuild" (structure changed wholesale) or
+                # ("proc", None) — touch() after direct blk.proc writes,
+                # where the affected set is unknown
                 self._rebuild()
                 return
         if len(ops) > max(64, 8 * len(q.blocks)):

@@ -1,0 +1,66 @@
+"""The kernel interface: the numeric hot loops behind one seam.
+
+Profiling the pipeline on large instances (see ``repro profile`` and
+``benchmarks/test_core_kernels.py``) shows three loops dominating:
+
+1. **full bottom-weight passes** — Eq. (1) swept over the whole quotient
+   (Step 3 pricing without an evaluator, every evaluator rebuild);
+2. **swap-candidate enumeration** — the O(n²) feasibility filter of the
+   Step 4 steepest-descent search;
+3. **memory-requirement sums** — per-task ``sum(in) + sum(out) + m_u``
+   vectors (partitioner node weights) and the memory-slack ranking of
+   Step 3's fallback pool.
+
+A :class:`Kernel` implements all three. ``reference`` is the dict-based
+code the repo grew up with; ``array`` evaluates the same arithmetic over
+compiled CSR views (:mod:`repro.core.compiled`,
+:mod:`repro.workflow.compiled`). The contract is *bit-for-bit equality*:
+for any input, every kernel must return exactly equal floats and
+identically ordered sequences — callers are free to switch kernels
+mid-run without perturbing a single decision. The differential suite
+(``tests/test_kernel_seam.py``, ``tests/test_evaluator_differential.py``)
+holds kernels to that contract on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+Node = Hashable
+BlockId = int
+
+
+class Kernel:
+    """Abstract numeric kernel; see module docstring for the contract."""
+
+    name: str = "?"
+
+    def bottom_weights(self, q, cluster, default_speed: float = 1.0
+                       ) -> Dict[BlockId, float]:
+        """Eq. (1) for every quotient vertex; raises on a cyclic quotient.
+
+        Called through :func:`repro.core.makespan.bottom_weights`, which
+        owns the ``FULL_PASSES`` instrumentation counter.
+        """
+        raise NotImplementedError
+
+    def feasible_swap_pairs(self, ids: Sequence[BlockId],
+                            requirement: Dict[BlockId, float],
+                            blocks) -> List[Tuple[BlockId, BlockId]]:
+        """Step 4 candidate pairs ``(a, b)``, in nested ``i < j`` order.
+
+        A pair is feasible when the two blocks sit on different processor
+        objects and each fits the other's memory. Order matters: the
+        steepest-descent search breaks makespan ties by first-seen pair.
+        """
+        raise NotImplementedError
+
+    def memory_slack_order(self, bids: Sequence[BlockId],
+                           slacks: Sequence[float], cap: int
+                           ) -> List[BlockId]:
+        """Top-``cap`` block ids by ``(slack desc, bid asc)`` (Step 3 pool)."""
+        raise NotImplementedError
+
+    def task_requirements(self, wf) -> Dict[Node, float]:
+        """``task_requirement`` for every task of ``wf``, insertion order."""
+        raise NotImplementedError

@@ -1,0 +1,65 @@
+"""The reference kernel: the original dict-of-dict hot loops, verbatim.
+
+This is the semantics oracle. The loops here were lifted unchanged from
+``core/makespan.py`` / ``core/swaps.py`` / ``core/merging.py`` when the
+kernel seam was introduced; the array kernel is correct exactly when it
+reproduces these results bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.core.kernels.base import BlockId, Kernel, Node
+from repro.utils.errors import CyclicWorkflowError
+
+
+class ReferenceKernel(Kernel):
+    """Pure-python dict-based kernels (no third-party dependencies)."""
+
+    name = "reference"
+
+    def bottom_weights(self, q, cluster, default_speed: float = 1.0
+                       ) -> Dict[BlockId, float]:
+        from repro.core.makespan import link_rule
+
+        order = q.topological_order()
+        if order is None:
+            raise CyclicWorkflowError(
+                message="makespan undefined: quotient graph is cyclic")
+        link_of = link_rule(cluster)
+        l: Dict[BlockId, float] = {}
+        for bid in reversed(order):
+            blk = q.blocks[bid]
+            own = blk.work / (blk.proc.speed if blk.proc is not None
+                              else default_speed)
+            best_child = 0.0
+            for child, c in q.succ[bid].items():
+                cand = c / link_of(blk.proc, q.blocks[child].proc) + l[child]
+                if cand > best_child:
+                    best_child = cand
+            l[bid] = own + best_child
+        return l
+
+    def feasible_swap_pairs(self, ids: Sequence[BlockId],
+                            requirement: Dict[BlockId, float],
+                            blocks) -> List[Tuple[BlockId, BlockId]]:
+        pairs: List[Tuple[BlockId, BlockId]] = []
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                pa, pb = blocks[a].proc, blocks[b].proc
+                if pa is pb:
+                    continue
+                if requirement[a] > pb.memory or requirement[b] > pa.memory:
+                    continue
+                pairs.append((a, b))
+        return pairs
+
+    def memory_slack_order(self, bids: Sequence[BlockId],
+                           slacks: Sequence[float], cap: int
+                           ) -> List[BlockId]:
+        entries = sorted(zip(slacks, (-b for b in bids)), reverse=True)
+        return [-neg_bid for _, neg_bid in entries[:cap]]
+
+    def task_requirements(self, wf) -> Dict[Node, float]:
+        return {u: wf.task_requirement(u) for u in wf.tasks()}

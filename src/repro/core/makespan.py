@@ -21,7 +21,6 @@ from typing import Callable, Dict, List, Optional
 from repro.core.quotient import BlockId, QuotientGraph
 from repro.platform.cluster import Cluster
 from repro.platform.processor import Processor
-from repro.utils.errors import CyclicWorkflowError
 
 #: instrumentation: number of full bottom-weight passes executed since
 #: import (or the last manual reset). The delta evaluator
@@ -36,11 +35,6 @@ def reset_full_pass_counter() -> int:
     previous = FULL_PASSES
     FULL_PASSES = 0
     return previous
-
-
-def _speed(q: QuotientGraph, bid: BlockId, default_speed: float) -> float:
-    blk = q.blocks[bid]
-    return blk.proc.speed if blk.proc is not None else default_speed
 
 
 def link_rule(cluster: Cluster) -> Callable[[Optional[Processor], Optional[Processor]], float]:
@@ -71,23 +65,18 @@ def bottom_weights(q: QuotientGraph, cluster: Cluster,
     uses the bandwidth of the link between the two blocks' processors;
     links with an undecided endpoint use the model's default (the same
     estimation rule the paper applies to unassigned speeds).
+
+    This is the kernel seam's main dispatch point: the sweep itself runs
+    on the active kernel (:func:`repro.core.kernels.get_kernel` —
+    reference dict loops or vectorized CSR arrays, selected via
+    ``REPRO_KERNEL``), and both kernels return bit-for-bit identical
+    weights.
     """
     global FULL_PASSES
-    order = q.topological_order()
-    if order is None:
-        raise CyclicWorkflowError(message="makespan undefined: quotient graph is cyclic")
+    from repro.core.kernels import get_kernel
+
+    l = get_kernel().bottom_weights(q, cluster, default_speed)
     FULL_PASSES += 1
-    link_of = link_rule(cluster)
-    l: Dict[BlockId, float] = {}
-    for bid in reversed(order):
-        blk = q.blocks[bid]
-        own = blk.work / _speed(q, bid, default_speed)
-        best_child = 0.0
-        for child, c in q.succ[bid].items():
-            cand = c / link_of(blk.proc, q.blocks[child].proc) + l[child]
-            if cand > best_child:
-                best_child = cand
-        l[bid] = own + best_child
     return l
 
 

@@ -1,0 +1,245 @@
+"""Kernel benchmark harness behind ``repro profile`` (see ROADMAP item 3).
+
+Measures the three hot kernels on both implementations — the dict
+``reference`` kernel and the vectorized ``array`` kernel — over synthetic
+instances large enough for asymptotics to show
+(:mod:`repro.generators.synthetic_arrays`), checks the outputs are
+bit-for-bit identical while it is at it, and emits a JSON report
+(``BENCH_core.json`` at the repo root is the committed baseline).
+
+The report is a *perf trajectory gate*: ``repro profile --check
+BENCH_core.json`` recomputes the speedups and fails when a case regresses
+below ``tolerance x`` its committed speedup — or, for the gated
+headline cases (full bottom-weight passes on the 100k-task fan and wide
+shapes), below the absolute :data:`SPEEDUP_FLOOR`. CI runs that check on
+every push; machine-to-machine noise cancels because the gate compares
+*ratios* measured in the same process, never wall-clock seconds across
+machines.
+
+Timings are min-of-``repeats`` wall clock. The array kernel's first
+bottom-weight call on a quotient includes the one-off
+:class:`~repro.core.compiled.CompiledQuotient` build; taking the minimum
+reports the steady state the heuristics actually see (one compile
+amortized over a whole merge/swap search), and the compile cost is
+reported separately as ``array_first_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.quotient import QuotientGraph
+from repro.generators.synthetic_arrays import synthetic_compiled
+from repro.platform.presets import default_cluster
+
+#: report schema version
+PROFILE_VERSION = 1
+
+#: default instance size for the headline cases (the acceptance scale)
+DEFAULT_N = 100_000
+
+#: default min-of-k repetitions
+DEFAULT_REPEATS = 3
+
+#: absolute speedup floor for gated cases (the PR's acceptance bar)
+SPEEDUP_FLOOR = 5.0
+
+#: a case regresses when its speedup drops below baseline * tolerance
+DEFAULT_TOLERANCE = 0.5
+
+
+def _kernels():
+    from repro.core.kernels.array import ArrayKernel
+    from repro.core.kernels.reference import ReferenceKernel
+    return ReferenceKernel(), ArrayKernel(forced=True)
+
+
+def _time_best(fn: Callable[[], object], repeats: int,
+               ) -> Tuple[float, float, object]:
+    """(best seconds, first-call seconds, last result) of ``fn``."""
+    best = float("inf")
+    first = None
+    out = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        if first is None:
+            first = dt
+        if dt < best:
+            best = dt
+    return best, first, out
+
+
+def _trivial_quotient(shape: str, n: int, seed: int) -> QuotientGraph:
+    """One task per block: the full-pass sweep at workflow granularity."""
+    wf = synthetic_compiled(shape, n, seed=seed).to_workflow()
+    return QuotientGraph.from_partition(wf, [{u} for u in wf.tasks()])
+
+
+def _bottom_case(shape: str):
+    def build(n: int, seed: int):
+        q = _trivial_quotient(shape, n, seed)
+        cluster = default_cluster()
+        ref, arr = _kernels()
+        # the searches mutate the mapping between passes (a swap probe is
+        # two set_proc calls, a full pass, two undos) — charge each kernel
+        # one move-probe's worth of mapping churn per pass so the array
+        # kernel pays its speed-vector maintenance honestly
+        bid = min(q.blocks)
+        probe = cluster.by_speed_desc()[0]
+
+        def run_ref():
+            q.set_proc(bid, probe)
+            out = ref.bottom_weights(q, cluster, 1.0)
+            q.set_proc(bid, None)
+            return out
+
+        def run_arr():
+            q.set_proc(bid, probe)
+            out = arr.bottom_weights(q, cluster, 1.0)
+            q.set_proc(bid, None)
+            return out
+
+        return run_ref, run_arr, lambda a, b: a == b
+    return build
+
+
+def _requirements_case(shape: str):
+    def build(n: int, seed: int):
+        wf = synthetic_compiled(shape, n, seed=seed).to_workflow()
+        ref, arr = _kernels()
+        return (lambda: ref.task_requirements(wf),
+                lambda: arr.task_requirements(wf),
+                lambda a, b: a == b)
+    return build
+
+
+def _swap_pairs_case(n_blocks: int):
+    def build(n: int, seed: int):
+        del n  # sized by n_blocks: the pairing kernel is quadratic
+        q = _trivial_quotient("layered", n_blocks, seed)
+        procs = default_cluster().processors
+        ids = sorted(q.blocks)
+        for i, bid in enumerate(ids):
+            q.set_proc(bid, procs[i % len(procs)])
+        # memory-tight requirements (the Step-4 regime): most pairs are
+        # infeasible, so the kernels filter rather than enumerate
+        requirement = {bid: 100.0 + float((i * 37) % 101)
+                       for i, bid in enumerate(ids)}
+        ref, arr = _kernels()
+        return (lambda: ref.feasible_swap_pairs(ids, requirement, q.blocks),
+                lambda: arr.feasible_swap_pairs(ids, requirement, q.blocks),
+                lambda a, b: a == b)
+    return build
+
+
+def _slack_order_case(size: int):
+    def build(n: int, seed: int):
+        del n
+        bids = list(range(size))
+        slacks = [float(((i * 73) % 997) - 498) for i in range(size)]
+        cap = 24
+        ref, arr = _kernels()
+        return (lambda: ref.memory_slack_order(bids, slacks, cap),
+                lambda: arr.memory_slack_order(bids, slacks, cap),
+                lambda a, b: a == b)
+    return build
+
+
+#: case name -> (builder factory, scaled by --n, gated by SPEEDUP_FLOOR)
+PROFILE_CASES: Dict[str, Tuple[Callable, bool, bool]] = {
+    "bottom_fan": (_bottom_case("fan"), True, True),
+    "bottom_wide": (_bottom_case("wide"), True, True),
+    "bottom_layered": (_bottom_case("layered"), True, False),
+    "requirements_layered": (_requirements_case("layered"), True, False),
+    "swap_pairs": (_swap_pairs_case(1500), False, False),
+    "slack_order": (_slack_order_case(200_000), False, False),
+}
+
+
+def run_profile(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
+                seed: int = 0, cases: Optional[List[str]] = None,
+                progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the kernel benchmark suite and return the report dict."""
+    import numpy as np
+
+    selected = list(PROFILE_CASES) if cases is None else list(cases)
+    unknown = [c for c in selected if c not in PROFILE_CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown profile case(s) {unknown}; valid: {list(PROFILE_CASES)}")
+
+    report: Dict = {
+        "version": PROFILE_VERSION,
+        "n": n,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cases": {},
+    }
+    for name in selected:
+        build, scaled, gated = PROFILE_CASES[name]
+        if progress:
+            progress(f"{name}: building instance ...")
+        run_ref, run_arr, equal = build(n if scaled else 0, seed)
+        ref_s, _, ref_out = _time_best(run_ref, repeats)
+        arr_s, arr_first, arr_out = _time_best(run_arr, repeats)
+        case = {
+            "reference_s": ref_s,
+            "array_s": arr_s,
+            "array_first_s": arr_first,
+            "speedup": ref_s / arr_s if arr_s > 0 else float("inf"),
+            "gated": gated,
+            "equal": bool(equal(ref_out, arr_out)),
+        }
+        report["cases"][name] = case
+        if progress:
+            progress(f"{name}: reference {ref_s:.4f}s  array {arr_s:.4f}s  "
+                     f"speedup {case['speedup']:.1f}x  "
+                     f"equal={case['equal']}")
+    return report
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE,
+                        floor: float = SPEEDUP_FLOOR) -> List[str]:
+    """Regressions of ``report`` against ``baseline`` (empty = pass).
+
+    Every baseline case must be present, bit-for-bit equal across
+    kernels, and keep ``speedup >= baseline_speedup * tolerance``; gated
+    cases must additionally clear the absolute ``floor``.
+    """
+    problems: List[str] = []
+    for name, base in baseline.get("cases", {}).items():
+        case = report.get("cases", {}).get(name)
+        if case is None:
+            problems.append(f"{name}: missing from this run")
+            continue
+        if not case.get("equal", False):
+            problems.append(f"{name}: kernels disagree (bit-for-bit check)")
+        need = base["speedup"] * tolerance
+        if base.get("gated"):
+            need = max(need, floor)
+        if case["speedup"] < need:
+            problems.append(
+                f"{name}: speedup {case['speedup']:.2f}x below required "
+                f"{need:.2f}x (baseline {base['speedup']:.2f}x)")
+    return problems
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write a profile *report* to *path* as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    """Load a profile report previously written by :func:`write_report`."""
+    with open(path) as fh:
+        return json.load(fh)

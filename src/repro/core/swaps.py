@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.evaluator import MakespanEvaluator
+from repro.core.kernels import get_kernel
 from repro.core.makespan import critical_path, makespan
 from repro.core.quotient import BlockId, QuotientGraph
 from repro.memdag.requirement import RequirementCache
@@ -53,29 +54,32 @@ def improve_by_swaps(q: QuotientGraph, cluster: Cluster,
                 requirement[bid] = cache.peak(q.blocks[bid].tasks)
         best_mu = current
         best_pair: Optional[Tuple[BlockId, BlockId]] = None
-        for i, a in enumerate(ids):
-            for b in ids[i + 1:]:
+        # candidate enumeration (proc-identity + memory feasibility) is a
+        # kernel: the pair order is part of the contract, since ties in
+        # makespan go to the first-seen pair
+        pairs = get_kernel().feasible_swap_pairs(ids, requirement, q.blocks)
+        for a, b in pairs:
+            if ev is not None:
+                mu = ev.eval_swap(a, b)
+            else:
                 pa, pb = q.blocks[a].proc, q.blocks[b].proc
-                if pa is pb:
-                    continue
-                if requirement[a] > pb.memory or requirement[b] > pa.memory:
-                    continue
-                if ev is not None:
-                    mu = ev.eval_swap(a, b)
-                else:
-                    q.blocks[a].proc, q.blocks[b].proc = pb, pa
-                    mu = makespan(q, cluster)
-                    q.blocks[a].proc, q.blocks[b].proc = pa, pb
-                if mu < best_mu - 1e-12:
-                    best_mu = mu
-                    best_pair = (a, b)
+                q.set_proc(a, pb)
+                q.set_proc(b, pa)
+                mu = makespan(q, cluster)
+                q.set_proc(a, pa)
+                q.set_proc(b, pb)
+            if mu < best_mu - 1e-12:
+                best_mu = mu
+                best_pair = (a, b)
         if best_pair is None:
             break
         a, b = best_pair
         if ev is not None:
             ev.apply_swap(a, b)
         else:
-            q.blocks[a].proc, q.blocks[b].proc = q.blocks[b].proc, q.blocks[a].proc
+            pa, pb = q.blocks[a].proc, q.blocks[b].proc
+            q.set_proc(a, pb)
+            q.set_proc(b, pa)
         current = best_mu
         applied += 1
     return applied
@@ -121,14 +125,14 @@ def move_critical_to_idle(q: QuotientGraph, cluster: Cluster,
                 if ev is not None:
                     mu = ev.eval_move(nu, candidate)
                 else:
-                    blk.proc = candidate
+                    q.set_proc(nu, candidate)
                     mu = makespan(q, cluster)
-                    blk.proc = old
+                    q.set_proc(nu, old)
                 if mu < current - 1e-12:
                     if ev is not None:
                         ev.apply_move(nu, candidate)
                     else:
-                        blk.proc = candidate
+                        q.set_proc(nu, candidate)
                     current = mu
                     moved.add(nu)
                     moves += 1

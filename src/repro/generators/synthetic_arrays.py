@@ -1,0 +1,143 @@
+"""Array-native synthetic DAGs: million-task instances without dicts.
+
+The dict-backed :class:`repro.workflow.graph.Workflow` builder costs one
+``add_task``/``add_edge`` call per element — fine for the paper's corpus
+(hundreds of tasks), hopeless for the kernel benchmarks, which need
+instances two to four orders of magnitude larger. This module draws the
+whole instance as flat numpy arrays (edge endpoint indices, costs, work,
+memory) and hands them straight to
+:meth:`repro.workflow.compiled.CompiledWorkflow.from_arrays`; nothing
+node-keyed is ever materialized, so a million-task DAG builds in tens of
+milliseconds.
+
+Tasks are indexed so that every edge goes from a lower to a higher index
+— the instances are topologically sorted by construction, which is what
+lets the shapes below scale without a validity check.
+
+Shapes (the benchmark suite's axes — see ``benchmarks/``):
+
+* ``fan``     — one source, ``n - 2`` independent middles, one sink: the
+  widest possible level structure (3 levels at any size);
+* ``chain``   — a single path: the deepest structure (``n`` levels,
+  adversarial for level-parallel kernels);
+* ``wide``    — a few wide layers with random cross edges: level
+  parallelism in the millions with non-trivial fan-in;
+* ``layered`` — many narrow layers with short skip edges: the shape of
+  :func:`repro.generators.random_dag.random_layered_dag`, at scale.
+
+Weights follow the paper's distributions (edges U[1,10], work U[1,1000],
+memory U[1,192]) drawn vectorized; ``seed`` reproduces instances
+bit-for-bit. For small ``n`` the result round-trips to a dict
+:class:`Workflow` via :meth:`CompiledWorkflow.to_workflow` — the
+differential tests rely on that to cross-check the array pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.generators.weights import PAPER_WEIGHTS, WeightRanges
+from repro.utils.rng import SeedLike, make_rng
+from repro.workflow.compiled import CompiledWorkflow
+
+#: valid values of the ``shape`` argument
+SYNTHETIC_SHAPES = ("fan", "chain", "wide", "layered")
+
+
+def _fan_edges(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    if n < 3:
+        return _chain_edges(n)
+    mids = np.arange(1, n - 1, dtype=np.intp)
+    src = np.concatenate([np.zeros(n - 2, dtype=np.intp), mids])
+    dst = np.concatenate([mids, np.full(n - 2, n - 1, dtype=np.intp)])
+    return src, dst
+
+
+def _chain_edges(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    idx = np.arange(n - 1, dtype=np.intp) if n > 1 else \
+        np.empty(0, dtype=np.intp)
+    return idx, idx + 1
+
+
+def _wide_edges(n: int, rng: np.random.Generator, layers: int,
+                fan_in: int) -> Tuple[np.ndarray, np.ndarray]:
+    if n < 2:
+        return _chain_edges(n)
+    layers = max(2, min(layers, n))
+    bounds = np.linspace(0, n, layers + 1).astype(np.intp)
+    srcs, dsts = [], []
+    for i in range(1, layers):
+        lo, hi = bounds[i], bounds[i + 1]
+        plo, phi = bounds[i - 1], bounds[i]
+        members = np.arange(lo, hi, dtype=np.intp)
+        k = min(fan_in, phi - plo)
+        # k random parents in the previous layer per member (duplicates
+        # collapse inside from_arrays, matching repeated add_edge)
+        parents = rng.integers(plo, phi, size=(hi - lo, k))
+        srcs.append(parents.ravel().astype(np.intp))
+        dsts.append(np.repeat(members, k))
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def _layered_edges(n: int, rng: np.random.Generator, width: int,
+                   max_skip: int) -> Tuple[np.ndarray, np.ndarray]:
+    # fixed-width layers: layer(u) = u // width; every non-first-layer
+    # task draws one parent per reachable skip distance, biased short
+    width = max(1, width)
+    first = min(width, n)  # tasks of layer 0 have no parents
+    members = np.arange(first, n, dtype=np.intp)
+    layer = members // width
+    srcs, dsts = [], []
+    for skip in range(1, max_skip + 1):
+        ok = layer >= skip
+        m = members[ok]
+        if m.size == 0:
+            break
+        if skip > 1:  # short skips always, long skips with probability
+            keep = rng.random(m.size) < 1.0 / skip
+            m = m[keep]
+            if m.size == 0:
+                continue
+        plo = (m // width - skip) * width
+        parents = plo + rng.integers(0, width, size=m.size)
+        srcs.append(parents.astype(np.intp))
+        dsts.append(m)
+    if not srcs:  # single-layer graph: no edges
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def synthetic_compiled(shape: str, n_tasks: int, seed: SeedLike = None, *,
+                       width: int = 64, layers: int = 8, fan_in: int = 3,
+                       max_skip: int = 2,
+                       ranges: WeightRanges = PAPER_WEIGHTS,
+                       ) -> CompiledWorkflow:
+    """A compiled synthetic DAG of the given shape with paper weights.
+
+    ``width`` sizes the layers of ``"layered"``, ``layers``/``fan_in``
+    shape ``"wide"``; the other shapes ignore them. Everything is drawn
+    in one vectorized pass, so the cost is O(n + e) numpy work.
+    """
+    if shape not in SYNTHETIC_SHAPES:
+        raise ValueError(
+            f"unknown shape {shape!r}; valid: {SYNTHETIC_SHAPES}")
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    rng = make_rng(seed)
+    if shape == "fan":
+        src, dst = _fan_edges(n_tasks)
+    elif shape == "chain":
+        src, dst = _chain_edges(n_tasks)
+    elif shape == "wide":
+        src, dst = _wide_edges(n_tasks, rng, layers, fan_in)
+    else:
+        src, dst = _layered_edges(n_tasks, rng, width, max_skip)
+    work = rng.uniform(*ranges.work, size=n_tasks)
+    memory = rng.uniform(*ranges.memory, size=n_tasks)
+    cost = rng.uniform(*ranges.edge, size=src.shape[0])
+    return CompiledWorkflow.from_arrays(
+        src, dst, cost, work, memory,
+        name=f"synthetic-{shape}-{n_tasks}")

@@ -1,0 +1,334 @@
+"""Immutable flat-array (CSR) view of a :class:`Workflow`.
+
+The dict-of-dict :class:`~repro.workflow.graph.Workflow` is the right
+structure for *construction and mutation*; the numeric kernels
+(:mod:`repro.core.kernels`) want the opposite trade-off: an immutable,
+cache-friendly view they can sweep with vectorized passes. A
+:class:`CompiledWorkflow` is that view — built once per mutation epoch
+(see :meth:`Workflow.compiled`), or emitted *directly* by the array-native
+generators (:mod:`repro.generators.synthetic_arrays`) without ever
+materializing the dicts, which is how million-task instances stay cheap.
+
+Layout
+------
+Tasks are interned to dense indices ``0..n-1`` in the workflow's
+insertion order (``nodes[i]`` is the label, ``index[label]`` the inverse).
+Adjacency is stored twice in CSR form::
+
+    out_indptr[i] : out_indptr[i+1]  ->  slice of out_indices / out_costs
+    in_indptr[i]  : in_indptr[i+1]   ->  slice of in_indices / in_costs
+
+with per-node neighbour order equal to the dicts' insertion order, so any
+per-node left-to-right reduction over a CSR row reproduces the dict
+iteration bit for bit. ``work`` / ``memory`` / ``requirement`` are dense
+float64 vectors; ``topo_order`` and ``level`` come from a vectorized
+level-peeling Kahn pass that also proves acyclicity.
+
+Numerical contract
+------------------
+Everything derived here must equal the dict-based code bit for bit:
+``requirement`` uses :func:`numpy.bincount` (scan-order accumulation, the
+same left-to-right association as ``sum()`` over the dicts) — never
+``np.sum``/``reduceat``, whose pairwise summation rounds differently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import CyclicWorkflowError
+
+Node = Hashable
+
+try:  # soft dependency: everything here needs numpy, nothing else does
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None
+
+
+def _require_numpy():
+    if np is None:  # pragma: no cover
+        raise ImportError(
+            "CompiledWorkflow requires numpy; install it or stay on the "
+            "dict-based Workflow API (REPRO_KERNEL=reference)")
+    return np
+
+
+class CompiledWorkflow:
+    """Frozen CSR snapshot of a workflow DAG (see module docstring).
+
+    Construct via :meth:`compile` (from a ``Workflow``) or
+    :meth:`from_arrays` (array-native, used by the synthetic generators).
+    The instance is immutable by convention: kernels only read it.
+    """
+
+    __slots__ = ("name", "n_tasks", "n_edges", "nodes", "index",
+                 "work", "memory",
+                 "out_indptr", "out_indices", "out_costs",
+                 "in_indptr", "in_indices", "in_costs",
+                 "topo_order", "level", "n_levels",
+                 "_requirement")
+
+    def __init__(self, *, name, nodes, index, work, memory,
+                 out_indptr, out_indices, out_costs,
+                 in_indptr, in_indices, in_costs,
+                 topo_order, level, n_levels):
+        self.name = name
+        self.n_tasks = len(nodes)
+        self.n_edges = int(len(out_indices))
+        self.nodes = nodes
+        self.index = index
+        self.work = work
+        self.memory = memory
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.out_costs = out_costs
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_costs = in_costs
+        self.topo_order = topo_order
+        self.level = level
+        self.n_levels = n_levels
+        self._requirement = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, wf) -> "CompiledWorkflow":
+        """Snapshot ``wf`` into flat arrays; raises on a cyclic graph."""
+        _require_numpy()
+        nodes: List[Node] = list(wf.tasks())
+        n = len(nodes)
+        index: Dict[Node, int] = {u: i for i, u in enumerate(nodes)}
+        work = np.fromiter((wf.work(u) for u in nodes), dtype=np.float64,
+                           count=n)
+        memory = np.fromiter((wf.memory(u) for u in nodes), dtype=np.float64,
+                             count=n)
+
+        m = wf.n_edges
+        out_indptr = np.zeros(n + 1, dtype=np.intp)
+        out_indices = np.empty(m, dtype=np.intp)
+        out_costs = np.empty(m, dtype=np.float64)
+        pos = 0
+        for i, u in enumerate(nodes):
+            for v, c in wf.out_edges(u):
+                out_indices[pos] = index[v]
+                out_costs[pos] = c
+                pos += 1
+            out_indptr[i + 1] = pos
+
+        in_indptr = np.zeros(n + 1, dtype=np.intp)
+        in_indices = np.empty(m, dtype=np.intp)
+        in_costs = np.empty(m, dtype=np.float64)
+        pos = 0
+        for i, u in enumerate(nodes):
+            for p, c in wf.in_edges(u):
+                in_indices[pos] = index[p]
+                in_costs[pos] = c
+                pos += 1
+            in_indptr[i + 1] = pos
+
+        topo_order, level, n_levels = _peel_levels(
+            n, out_indptr, out_indices, in_indptr, in_indices)
+        if topo_order is None:
+            raise CyclicWorkflowError(wf.find_cycle())
+        return cls(name=wf.name, nodes=nodes, index=index, work=work,
+                   memory=memory, out_indptr=out_indptr,
+                   out_indices=out_indices, out_costs=out_costs,
+                   in_indptr=in_indptr, in_indices=in_indices,
+                   in_costs=in_costs, topo_order=topo_order, level=level,
+                   n_levels=n_levels)
+
+    @classmethod
+    def from_arrays(cls, src, dst, cost, work, memory, *,
+                    name: str = "compiled",
+                    nodes: Optional[Sequence[Node]] = None,
+                    ) -> "CompiledWorkflow":
+        """Build directly from edge/weight arrays — no dicts materialized.
+
+        ``src``/``dst`` are integer task indices into ``work``/``memory``;
+        parallel ``(u, v)`` edges are collapsed by summing their costs,
+        matching :meth:`Workflow.add_edge`. ``nodes`` optionally names the
+        tasks (default: their indices). Raises on cycles and self-loops.
+        """
+        _require_numpy()
+        src = np.asarray(src, dtype=np.intp)
+        dst = np.asarray(dst, dtype=np.intp)
+        cost = np.asarray(cost, dtype=np.float64)
+        work = np.asarray(work, dtype=np.float64)
+        memory = np.asarray(memory, dtype=np.float64)
+        n = int(work.shape[0])
+        if memory.shape[0] != n:
+            raise ValueError("work and memory must have the same length")
+        if not (src.shape[0] == dst.shape[0] == cost.shape[0]):
+            raise ValueError("src, dst and cost must have the same length")
+        if src.size and (src.min() < 0 or src.max() >= n
+                         or dst.min() < 0 or dst.max() >= n):
+            raise ValueError("edge endpoints out of range")
+        if np.any(src == dst):
+            bad = int(src[src == dst][0])
+            raise CyclicWorkflowError([bad], f"self-loop on task {bad}")
+
+        # collapse parallel edges (sum costs in first-occurrence order),
+        # then group by source, preserving first-occurrence order per node
+        if src.size:
+            key = src * n + dst
+            uniq, inverse = np.unique(key, return_inverse=True)
+            summed = np.bincount(inverse, weights=cost,
+                                 minlength=uniq.shape[0])
+            first = np.full(uniq.shape[0], src.size, dtype=np.intp)
+            np.minimum.at(first, inverse, np.arange(src.size, dtype=np.intp))
+            keep = np.argsort(first, kind="stable")
+            e_src = (uniq // n)[keep]
+            e_dst = (uniq % n)[keep]
+            e_cost = summed[keep]
+            order = np.argsort(e_src, kind="stable")
+            e_src, e_dst, e_cost = e_src[order], e_dst[order], e_cost[order]
+        else:
+            e_src = np.empty(0, dtype=np.intp)
+            e_dst = np.empty(0, dtype=np.intp)
+            e_cost = np.empty(0, dtype=np.float64)
+        m = int(e_src.shape[0])
+
+        out_indptr = np.zeros(n + 1, dtype=np.intp)
+        np.add.at(out_indptr, e_src + 1, 1)
+        out_indptr = np.cumsum(out_indptr)
+        out_indices = e_dst.astype(np.intp, copy=True)
+        out_costs = e_cost.astype(np.float64, copy=True)
+
+        rev = np.argsort(e_dst, kind="stable")
+        in_indptr = np.zeros(n + 1, dtype=np.intp)
+        np.add.at(in_indptr, e_dst + 1, 1)
+        in_indptr = np.cumsum(in_indptr)
+        in_indices = e_src[rev].astype(np.intp, copy=True)
+        in_costs = e_cost[rev].astype(np.float64, copy=True)
+
+        node_list = list(nodes) if nodes is not None else list(range(n))
+        if len(node_list) != n:
+            raise ValueError(f"expected {n} node labels, got {len(node_list)}")
+        index = {u: i for i, u in enumerate(node_list)}
+
+        topo_order, level, n_levels = _peel_levels(
+            n, out_indptr, out_indices, in_indptr, in_indices)
+        if topo_order is None:
+            raise CyclicWorkflowError(
+                message=f"edge arrays of {name!r} contain a cycle")
+        return cls(name=name, nodes=node_list, index=index, work=work,
+                   memory=memory, out_indptr=out_indptr,
+                   out_indices=out_indices, out_costs=out_costs,
+                   in_indptr=in_indptr, in_indices=in_indices,
+                   in_costs=in_costs, topo_order=topo_order, level=level,
+                   n_levels=n_levels)
+
+    # ------------------------------------------------------------------
+    # derived vectors
+    # ------------------------------------------------------------------
+    def requirements(self):
+        """``r_u = sum_in c + sum_out c + m_u`` for every task, vectorized.
+
+        Bit-for-bit equal to :meth:`Workflow.task_requirement` for every
+        node: ``bincount`` accumulates in scan order, i.e. the same
+        left-to-right association as ``sum()`` over the adjacency dicts.
+        """
+        if self._requirement is None:
+            n = self.n_tasks
+            if self.out_costs.size:
+                out_ids = np.repeat(np.arange(n, dtype=np.intp),
+                                    np.diff(self.out_indptr))
+                out_sum = np.bincount(out_ids, weights=self.out_costs,
+                                      minlength=n)
+                in_ids = np.repeat(np.arange(n, dtype=np.intp),
+                                   np.diff(self.in_indptr))
+                in_sum = np.bincount(in_ids, weights=self.in_costs,
+                                     minlength=n)
+            else:
+                out_sum = np.zeros(n)
+                in_sum = np.zeros(n)
+            self._requirement = in_sum + out_sum + self.memory
+        return self._requirement
+
+    def total_work(self) -> float:
+        return float(sum(self.work.tolist()))
+
+    def max_task_requirement(self) -> float:
+        if self.n_tasks == 0:
+            return 0.0
+        return float(self.requirements().max())
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    def iter_edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Stream ``(u, v, cost)`` labels without building any dict."""
+        nodes = self.nodes
+        indptr, indices, costs = self.out_indptr, self.out_indices, self.out_costs
+        for i in range(self.n_tasks):
+            u = nodes[i]
+            for e in range(indptr[i], indptr[i + 1]):
+                yield u, nodes[indices[e]], float(costs[e])
+
+    def to_workflow(self):
+        """Materialize the dict-based :class:`Workflow` (small graphs only)."""
+        from repro.workflow.graph import Workflow
+
+        wf = Workflow(self.name)
+        work, memory = self.work.tolist(), self.memory.tolist()
+        for i, u in enumerate(self.nodes):
+            wf.add_task(u, work[i], memory[i])
+        for u, v, c in self.iter_edges():
+            wf.add_edge(u, v, c)
+        return wf
+
+    def __len__(self) -> int:
+        return self.n_tasks
+
+    def __repr__(self) -> str:
+        return (f"CompiledWorkflow({self.name!r}, tasks={self.n_tasks}, "
+                f"edges={self.n_edges}, levels={self.n_levels})")
+
+
+def _peel_levels(n, out_indptr, out_indices, in_indptr, in_indices):
+    """Vectorized Kahn peeling from the sinks, one whole level per round.
+
+    Returns ``(topo_order, level, n_levels)`` where ``level[v]`` is the
+    longest path (in edges) from ``v`` to a sink, and ``topo_order`` lists
+    vertices by *decreasing* level (i.e. a valid topological order of the
+    DAG, sinks last). Returns ``(None, None, 0)`` on a cycle.
+    """
+    if n == 0:
+        return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.int64), 0)
+    remaining = np.diff(out_indptr).astype(np.int64)
+    level = np.zeros(n, dtype=np.int64)
+    frontier = np.nonzero(remaining == 0)[0]
+    peeled_chunks = []
+    current = 0
+    n_done = 0
+    while frontier.size:
+        peeled_chunks.append(frontier)
+        level[frontier] = current
+        n_done += frontier.size
+        if n_done == n:
+            break
+        # decrement the out-degree of every parent of the frontier
+        counts = in_indptr[frontier + 1] - in_indptr[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        starts = in_indptr[frontier]
+        take = (np.repeat(starts - np.concatenate(
+            ([0], np.cumsum(counts)[:-1])), counts)
+            + np.arange(total, dtype=np.intp))
+        parents = in_indices[take]
+        dec = np.bincount(parents, minlength=n)
+        newly = np.nonzero((remaining > 0) & (remaining == dec))[0]
+        remaining -= dec
+        frontier = newly
+        current += 1
+    if n_done != n:
+        return (None, None, 0)
+    n_levels = current + 1
+    # decreasing level = topological order (parents strictly above children)
+    order = np.concatenate(peeled_chunks[::-1]) if peeled_chunks \
+        else np.empty(0, dtype=np.intp)
+    return (order.astype(np.intp), level, n_levels)

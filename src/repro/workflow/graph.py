@@ -40,7 +40,8 @@ class Workflow:
     All mutating generators in this library do so.
     """
 
-    __slots__ = ("name", "_work", "_memory", "_succ", "_pred", "_n_edges")
+    __slots__ = ("name", "_work", "_memory", "_succ", "_pred", "_n_edges",
+                 "_in_total", "_out_total", "_version", "_compiled")
 
     def __init__(self, name: str = "workflow"):
         self.name = name
@@ -49,10 +50,22 @@ class Workflow:
         self._succ: Dict[Node, Dict[Node, float]] = {}
         self._pred: Dict[Node, Dict[Node, float]] = {}
         self._n_edges = 0
+        # per-node in/out-cost totals, memoized lazily and dropped on the
+        # mutations that touch them (the partitioner calls
+        # task_requirement for every node on every k' of the sweep)
+        self._in_total: Dict[Node, float] = {}
+        self._out_total: Dict[Node, float] = {}
+        #: bumped on every mutation; keys the compiled-view cache
+        self._version = 0
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        self._version += 1
+        self._compiled = None
+
     def add_task(self, u: Node, work: float = 1.0, memory: float = 0.0) -> None:
         """Add task ``u``; re-adding updates its weights in place."""
         if u not in self._work:
@@ -60,6 +73,7 @@ class Workflow:
             self._pred[u] = {}
         self._work[u] = float(work)
         self._memory[u] = float(memory)
+        self._touch()
 
     def add_edge(self, u: Node, v: Node, cost: float = 0.0) -> None:
         """Add edge ``(u, v)`` with file size ``cost``.
@@ -81,21 +95,32 @@ class Workflow:
             self._succ[u][v] = float(cost)
             self._pred[v][u] = float(cost)
             self._n_edges += 1
+        self._out_total.pop(u, None)
+        self._in_total.pop(v, None)
+        self._touch()
 
     def remove_task(self, u: Node) -> None:
         """Remove task ``u`` and all incident edges."""
         for v in list(self._succ[u]):
             del self._pred[v][u]
+            self._in_total.pop(v, None)
             self._n_edges -= 1
         for p in list(self._pred[u]):
             del self._succ[p][u]
+            self._out_total.pop(p, None)
             self._n_edges -= 1
         del self._succ[u], self._pred[u], self._work[u], self._memory[u]
+        self._in_total.pop(u, None)
+        self._out_total.pop(u, None)
+        self._touch()
 
     def remove_edge(self, u: Node, v: Node) -> None:
         del self._succ[u][v]
         del self._pred[v][u]
         self._n_edges -= 1
+        self._out_total.pop(u, None)
+        self._in_total.pop(v, None)
+        self._touch()
 
     # ------------------------------------------------------------------
     # accessors
@@ -132,11 +157,13 @@ class Workflow:
         if u not in self._work:
             raise KeyError(u)
         self._work[u] = float(work)
+        self._touch()
 
     def set_memory(self, u: Node, memory: float) -> None:
         if u not in self._memory:
             raise KeyError(u)
         self._memory[u] = float(memory)
+        self._touch()
 
     def edge_cost(self, u: Node, v: Node) -> float:
         return self._succ[u][v]
@@ -176,15 +203,28 @@ class Workflow:
     # weights
     # ------------------------------------------------------------------
     def in_cost(self, u: Node) -> float:
-        """Total size of ``u``'s input files."""
-        return sum(self._pred[u].values())
+        """Total size of ``u``'s input files (memoized per node).
+
+        The memo is recomputed — never adjusted in place — so the value is
+        always the exact left-to-right sum over the adjacency dict, no
+        matter how many mutations happened in between.
+        """
+        total = self._in_total.get(u)
+        if total is None:
+            total = sum(self._pred[u].values())
+            self._in_total[u] = total
+        return total
 
     def out_cost(self, u: Node) -> float:
-        """Total size of ``u``'s output files."""
-        return sum(self._succ[u].values())
+        """Total size of ``u``'s output files (memoized per node)."""
+        total = self._out_total.get(u)
+        if total is None:
+            total = sum(self._succ[u].values())
+            self._out_total[u] = total
+        return total
 
     def task_requirement(self, u: Node) -> float:
-        """``r_u = sum_in c + sum_out c + m_u`` (Section 3.1)."""
+        """``r_u = sum_in c + sum_out c + m_u`` (Section 3.1); O(1) amortized."""
         return self.in_cost(u) + self.out_cost(u) + self._memory[u]
 
     def total_work(self) -> float:
@@ -198,6 +238,27 @@ class Workflow:
         if not self._work:
             return 0.0
         return max(self.task_requirement(u) for u in self._work)
+
+    # ------------------------------------------------------------------
+    # compiled view
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; two equal versions imply an unchanged graph."""
+        return self._version
+
+    def compiled(self):
+        """The immutable :class:`~repro.workflow.compiled.CompiledWorkflow`.
+
+        Compiled once per mutation epoch and cached; any mutation drops
+        the cache, so the view can never go stale. Requires numpy — use
+        :meth:`repro.workflow.compiled.CompiledWorkflow.compile` directly
+        to control caching.
+        """
+        if self._compiled is None:
+            from repro.workflow.compiled import CompiledWorkflow
+            self._compiled = CompiledWorkflow.compile(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # structure
@@ -309,3 +370,25 @@ class Workflow:
 
     def __repr__(self) -> str:
         return f"Workflow({self.name!r}, tasks={self.n_tasks}, edges={self.n_edges})"
+
+    # ------------------------------------------------------------------
+    # pickling (process execution backends ship workflows to workers);
+    # caches are per-process scratch and are not serialized
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "_work": self._work,
+            "_memory": self._memory,
+            "_succ": self._succ,
+            "_pred": self._pred,
+            "_n_edges": self._n_edges,
+        }
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._in_total = {}
+        self._out_total = {}
+        self._version = 0
+        self._compiled = None

@@ -1,0 +1,159 @@
+"""CompiledWorkflow: CSR snapshots, array-native construction, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.families import generate_workflow
+from repro.generators.random_dag import random_workflow
+from repro.generators.synthetic_arrays import SYNTHETIC_SHAPES, synthetic_compiled
+from repro.utils.errors import CyclicWorkflowError
+from repro.workflow.compiled import CompiledWorkflow
+from repro.workflow.graph import Workflow
+
+
+def _assert_matches(cw: CompiledWorkflow, wf: Workflow) -> None:
+    """The compiled view reproduces the dict workflow exactly."""
+    assert cw.n_tasks == wf.n_tasks
+    assert cw.n_edges == wf.n_edges
+    assert cw.nodes == list(wf.tasks())
+    for u in wf.tasks():
+        i = cw.index[u]
+        assert cw.work[i] == wf.work(u)
+        assert cw.memory[i] == wf.memory(u)
+        # CSR rows preserve the dicts' insertion order, bit for bit
+        row = slice(cw.out_indptr[i], cw.out_indptr[i + 1])
+        assert [cw.nodes[j] for j in cw.out_indices[row]] == \
+            [v for v, _ in wf.out_edges(u)]
+        assert cw.out_costs[row].tolist() == \
+            [c for _, c in wf.out_edges(u)]
+        row = slice(cw.in_indptr[i], cw.in_indptr[i + 1])
+        assert [cw.nodes[j] for j in cw.in_indices[row]] == \
+            [p for p, _ in wf.in_edges(u)]
+
+
+class TestCompile:
+    @pytest.mark.parametrize("family", ["blast", "genome", "montage"])
+    def test_matches_workflow(self, family):
+        wf = generate_workflow(family, 60, seed=0)
+        _assert_matches(wf.compiled(), wf)
+
+    def test_requirements_bit_for_bit(self):
+        wf = random_workflow(200, seed=3)
+        req = wf.compiled().requirements()
+        for u in wf.tasks():
+            assert req[wf.compiled().index[u]] == wf.task_requirement(u)
+
+    def test_topo_order_valid_and_levels_consistent(self):
+        wf = random_workflow(150, seed=5)
+        cw = wf.compiled()
+        pos = {int(v): i for i, v in enumerate(cw.topo_order)}
+        for u, v, _ in wf.edges():
+            iu, iv = cw.index[u], cw.index[v]
+            assert pos[iu] < pos[iv]          # parents before children
+            assert cw.level[iu] > cw.level[iv]  # level = height above sinks
+        assert int(cw.level.max()) == cw.n_levels - 1
+
+    def test_cached_per_mutation_epoch(self):
+        wf = random_workflow(30, seed=1)
+        first = wf.compiled()
+        assert wf.compiled() is first
+        wf.add_task("fresh", 1.0, 2.0)
+        second = wf.compiled()
+        assert second is not first
+        assert "fresh" in second.index
+
+    def test_cycle_raises(self):
+        wf = Workflow()
+        wf.add_edge("a", "b")
+        wf.add_edge("b", "c")
+        wf.add_edge("c", "a")
+        with pytest.raises(CyclicWorkflowError):
+            CompiledWorkflow.compile(wf)
+
+    def test_empty_and_single(self):
+        empty = Workflow().compiled()
+        assert empty.n_tasks == 0 and empty.n_levels == 0
+        wf = Workflow()
+        wf.add_task("only", 3.0, 4.0)
+        cw = wf.compiled()
+        assert cw.n_tasks == 1 and cw.n_levels == 1
+        assert cw.requirements().tolist() == [4.0]
+
+    def test_to_workflow_round_trip(self):
+        wf = generate_workflow("soykb", 40, seed=2)
+        back = wf.compiled().to_workflow()
+        assert list(back.tasks()) == list(wf.tasks())
+        assert sorted(back.edges()) == sorted(wf.edges())
+        for u in wf.tasks():
+            assert back.task_requirement(u) == wf.task_requirement(u)
+
+
+class TestFromArrays:
+    def test_parallel_edges_collapse_like_add_edge(self):
+        cw = CompiledWorkflow.from_arrays(
+            src=[0, 0, 0], dst=[1, 2, 1], cost=[1.5, 2.0, 0.25],
+            work=[1.0, 1.0, 1.0], memory=[0.0, 0.0, 0.0])
+        wf = Workflow()
+        for u in range(3):
+            wf.add_task(u, 1.0, 0.0)
+        for u, v, c in [(0, 1, 1.5), (0, 2, 2.0), (0, 1, 0.25)]:
+            wf.add_edge(u, v, c)
+        _assert_matches(cw, wf)
+
+    def test_self_loop_and_cycle_raise(self):
+        with pytest.raises(CyclicWorkflowError):
+            CompiledWorkflow.from_arrays([0], [0], [1.0], [1.0], [0.0])
+        with pytest.raises(CyclicWorkflowError):
+            CompiledWorkflow.from_arrays(
+                [0, 1], [1, 0], [1.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            CompiledWorkflow.from_arrays([0], [5], [1.0], [1.0, 1.0],
+                                         [0.0, 0.0])
+        with pytest.raises(ValueError):
+            CompiledWorkflow.from_arrays([], [], [], [1.0], [0.0, 0.0])
+
+    def test_edgeless(self):
+        cw = CompiledWorkflow.from_arrays([], [], [], [2.0, 3.0], [1.0, 4.0])
+        assert cw.n_edges == 0
+        assert cw.requirements().tolist() == [1.0, 4.0]
+        assert cw.n_levels == 1
+
+
+class TestSyntheticArrays:
+    @pytest.mark.parametrize("shape", SYNTHETIC_SHAPES)
+    def test_shapes_build_and_are_topological(self, shape):
+        cw = synthetic_compiled(shape, 300, seed=4)
+        assert cw.n_tasks == 300
+        src = np.repeat(np.arange(cw.n_tasks), np.diff(cw.out_indptr))
+        assert np.all(src < cw.out_indices)  # edges go low -> high index
+
+    @pytest.mark.parametrize("shape", SYNTHETIC_SHAPES)
+    def test_deterministic_per_seed(self, shape):
+        a = synthetic_compiled(shape, 120, seed=9)
+        b = synthetic_compiled(shape, 120, seed=9)
+        c = synthetic_compiled(shape, 120, seed=10)
+        assert a.work.tolist() == b.work.tolist()
+        assert a.out_costs.tolist() == b.out_costs.tolist()
+        assert a.out_indices.tolist() == b.out_indices.tolist()
+        assert a.work.tolist() != c.work.tolist()
+
+    def test_round_trip_matches_dict_pipeline(self):
+        cw = synthetic_compiled("layered", 80, seed=1)
+        wf = cw.to_workflow()
+        recompiled = CompiledWorkflow.compile(wf)
+        assert recompiled.requirements().tolist() == \
+            cw.requirements().tolist()
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_instances(self, n):
+        for shape in SYNTHETIC_SHAPES:
+            cw = synthetic_compiled(shape, n, seed=0)
+            assert cw.n_tasks == n
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            synthetic_compiled("torus", 10, seed=0)

@@ -146,3 +146,85 @@ class TestNetworkxInterop:
         wf = Workflow.from_networkx(g)
         assert wf.work("a") == 1.0
         assert wf.edge_cost("a", "b") == 0.0
+
+
+class TestRequirementCache:
+    """task_requirement memoizes per-node totals; mutations invalidate."""
+
+    def _diamond(self):
+        wf = Workflow()
+        wf.add_edge("s", "x", 2.0)
+        wf.add_edge("s", "y", 3.0)
+        wf.add_edge("x", "t", 4.0)
+        wf.add_edge("y", "t", 5.0)
+        return wf
+
+    def test_cached_value_is_exact(self):
+        wf = self._diamond()
+        wf.set_memory("x", 7.0)
+        assert wf.task_requirement("x") == 2.0 + 4.0 + 7.0
+        # second call served from the memo, same value
+        assert wf.task_requirement("x") == 13.0
+
+    def test_add_edge_invalidates_both_endpoints(self):
+        wf = self._diamond()
+        before_x = wf.task_requirement("x")
+        before_y = wf.task_requirement("y")
+        wf.add_edge("x", "y", 10.0)
+        assert wf.task_requirement("x") == before_x + 10.0  # out total grew
+        assert wf.task_requirement("y") == before_y + 10.0  # in total grew
+
+    def test_parallel_edge_addition_invalidates(self):
+        wf = self._diamond()
+        assert wf.task_requirement("t") == 4.0 + 5.0
+        wf.add_edge("x", "t", 0.5)  # collapses into the existing edge
+        assert wf.task_requirement("t") == 4.5 + 5.0
+
+    def test_remove_edge_invalidates(self):
+        wf = self._diamond()
+        assert wf.task_requirement("s") == 5.0
+        wf.remove_edge("s", "y")
+        assert wf.task_requirement("s") == 2.0
+        assert wf.task_requirement("y") == 5.0  # lost its in-cost
+
+    def test_remove_task_invalidates_neighbours(self):
+        wf = self._diamond()
+        assert wf.task_requirement("t") == 9.0
+        wf.remove_task("x")
+        assert wf.task_requirement("t") == 5.0
+        assert wf.task_requirement("s") == 3.0
+
+    def test_set_memory_reflected_immediately(self):
+        wf = self._diamond()
+        base = wf.task_requirement("t")
+        wf.set_memory("t", 100.0)
+        assert wf.task_requirement("t") == base + 100.0
+
+    def test_long_mutation_sequence_never_stale(self):
+        """Interleave reads and mutations; the memo must track exactly."""
+        wf = Workflow()
+        for i in range(10):
+            wf.add_task(i, work=1.0, memory=float(i))
+        for i in range(9):
+            wf.add_edge(i, i + 1, float(i + 1))
+            for u in range(10):
+                fresh = (sum(c for _, c in wf.in_edges(u))
+                         + sum(c for _, c in wf.out_edges(u))
+                         + wf.memory(u))
+                assert wf.task_requirement(u) == fresh
+        wf.remove_edge(3, 4)
+        wf.remove_task(7)
+        for u in wf.tasks():
+            fresh = (sum(c for _, c in wf.in_edges(u))
+                     + sum(c for _, c in wf.out_edges(u))
+                     + wf.memory(u))
+            assert wf.task_requirement(u) == fresh
+
+    def test_pickle_round_trip_drops_caches_safely(self):
+        import pickle
+        wf = self._diamond()
+        wf.task_requirement("x")  # warm the memo
+        clone = pickle.loads(pickle.dumps(wf))
+        assert clone.task_requirement("x") == wf.task_requirement("x")
+        clone.add_edge("x", "y", 1.0)
+        assert clone.task_requirement("x") == wf.task_requirement("x") + 1.0
