@@ -10,10 +10,15 @@ record answers — and reports what changed between the runs:
   more than ``tolerance`` (relative);
 * ``new_failures`` / ``fixed_failures`` — success flipped to failure or
   back (the failure kind rides along);
-* ``only_in_a`` / ``only_in_b`` — requests missing from one side.
+* ``only_in_a`` / ``only_in_b`` — requests missing from one side;
+* ``robustness_deltas`` — simulator outputs (``repro simulate --json``)
+  carry flat ``sim_*`` metrics in ``extra``; records present in both
+  sides are compared on every such key (floats within ``tolerance``,
+  everything else — counts, policies, the resolved event log — exactly).
 
-Measured ``runtime`` and the sweep trace are deliberately ignored — two
-runs of the same scenario always differ there.
+Measured ``runtime``, the sweep trace, and the ``sim_*_s`` reaction
+latencies are deliberately ignored — two runs of the same scenario
+always differ there.
 """
 
 from __future__ import annotations
@@ -79,6 +84,10 @@ class ResultsDiff:
     fixed_failures: List[Tuple[str, str]] = field(default_factory=list)
     #: failed in both but differently: (label, kind in A, kind in B)
     changed_failures: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: simulator metrics that moved: (label, key, value_a, value_b) over
+    #: the ``sim_*`` extra entries (wall-clock ``*_s`` keys excluded)
+    robustness_deltas: List[Tuple[str, str, Any, Any]] = \
+        field(default_factory=list)
     only_in_a: List[str] = field(default_factory=list)
     only_in_b: List[str] = field(default_factory=list)
     #: duplicate fingerprints seen within one file (kept: first occurrence)
@@ -95,6 +104,7 @@ class ResultsDiff:
         same requests."""
         return not (self.makespan_deltas or self.new_failures or
                     self.fixed_failures or self.changed_failures or
+                    self.robustness_deltas or
                     self.only_in_a or self.only_in_b or self.conflicts)
 
 
@@ -122,6 +132,33 @@ def _index(records: Iterable[Dict[str, Any]]
             continue
         indexed[fp] = record
     return indexed, duplicates, conflicts
+
+
+def _sim_metrics(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The comparable simulator metrics of one record.
+
+    ``sim_*`` extra entries minus the ``*_s`` wall-clock latencies (two
+    runs always differ there, like ``runtime``).
+    """
+    extra = record.get("extra") or {}
+    return {key: value for key, value in extra.items()
+            if key.startswith("sim_") and not key.endswith("_s")}
+
+
+def _robustness_delta(label: str, a_rec: Dict[str, Any],
+                      b_rec: Dict[str, Any], tolerance: float
+                      ) -> List[Tuple[str, str, Any, Any]]:
+    a_sim, b_sim = _sim_metrics(a_rec), _sim_metrics(b_rec)
+    out: List[Tuple[str, str, Any, Any]] = []
+    for key in sorted(set(a_sim) | set(b_sim)):
+        va, vb = a_sim.get(key), b_sim.get(key)
+        if isinstance(va, float) and isinstance(vb, float):
+            scale = max(abs(va), abs(vb))
+            if abs(va - vb) > tolerance * scale:
+                out.append((label, key, va, vb))
+        elif va != vb:
+            out.append((label, key, va, vb))
+    return out
 
 
 def diff_results(a_records: Iterable[Dict[str, Any]],
@@ -165,6 +202,8 @@ def diff_results(a_records: Iterable[Dict[str, Any]],
                 scale = max(abs(ma), abs(mb))
                 if abs(ma - mb) > tolerance * scale:
                     diff.makespan_deltas.append((_label(a_rec), ma, mb))
+            diff.robustness_deltas.extend(
+                _robustness_delta(_label(a_rec), a_rec, b_rec, tolerance))
     for fp, b_rec in b_index.items():
         if fp not in a_index:
             diff.only_in_b.append(_label(b_rec))
@@ -194,6 +233,12 @@ def format_diff(diff: ResultsDiff, a_name: str = "A",
         section("makespan deltas", [
             f"{label}: {ma:.6g} -> {mb:.6g}{pct(ma, mb)}"
             for label, ma, mb in diff.makespan_deltas])
+    if diff.robustness_deltas:
+        def show(value: Any) -> str:
+            return f"{value:.6g}" if isinstance(value, float) else repr(value)
+        section("robustness deltas", [
+            f"{label}: {key} {show(va)} -> {show(vb)}"
+            for label, key, va, vb in diff.robustness_deltas])
     if diff.new_failures:
         section(f"new failures in {b_name}",
                 [f"{label}: {kind}" for label, kind in diff.new_failures])

@@ -59,6 +59,7 @@ from repro.api.cache import CacheBackend, open_cache
 from repro.api.envelopes import ScheduleRequest, ScheduleResult, _tupled
 from repro.api.exec.policy import ExecutionPolicy
 from repro.api.registry import get_algorithm
+from repro.sim.events import DynamicsSpec
 
 
 def _listed(value: Any) -> Any:
@@ -403,6 +404,10 @@ class ScenarioSpec:
     #: optional execution defaults (backend, workers, per-request policy,
     #: cache URI); explicit run_scenario/CLI arguments override it
     execution: Optional[ExecutionSpec] = None
+    #: optional dynamics block (perturbation models + reaction policy);
+    #: set, the spec runs through ``repro simulate`` /
+    #: :func:`repro.sim.runner.run_dynamic_scenario`
+    dynamics: Optional[DynamicsSpec] = None
 
     def __post_init__(self):
         if not self.workflows:
@@ -438,6 +443,8 @@ class ScenarioSpec:
             "validate": self.validate,
             "execution": None if self.execution is None else
             self.execution.to_dict(),
+            "dynamics": None if self.dynamics is None else
+            self.dynamics.to_dict(),
         }
 
     @classmethod
@@ -445,6 +452,9 @@ class ScenarioSpec:
         execution = data.get("execution")
         if execution is not None:
             execution = ExecutionSpec.from_dict(execution)
+        dynamics = data.get("dynamics")
+        if dynamics is not None and not isinstance(dynamics, DynamicsSpec):
+            dynamics = DynamicsSpec.from_dict(dynamics)
         return cls(
             name=data["name"],
             description=data.get("description", ""),
@@ -460,6 +470,7 @@ class ScenarioSpec:
             scale_memory=bool(data.get("scale_memory", True)),
             validate=bool(data.get("validate", False)),
             execution=execution,
+            dynamics=dynamics,
         )
 
     def to_json(self, indent: Optional[int] = 1) -> str:

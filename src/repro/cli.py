@@ -15,6 +15,12 @@ Commands
                 result cache (``--cache sqlite:///path.db`` or a
                 directory), so re-runs and crashed sweeps resume for
                 free; ``scenario diff`` compares two result JSONL dumps;
+``simulate``    replay a scenario spec's plans under its ``dynamics``
+                block (job arrivals, processor churn, runtime inflation)
+                through the event-driven simulator, reporting makespan
+                degradation, migrations, and reaction latency per
+                policy; ``--bench`` runs the warm-start vs cold-re-solve
+                benchmark and gates against ``BENCH_sim.json``;
 ``profile``     benchmark the reference vs array kernels on large
                 synthetic instances, write/compare the ``BENCH_core.json``
                 perf-trajectory report (``--check`` is the CI regression
@@ -76,6 +82,7 @@ EXPERIMENTS = {
     "heft_relative": figures.heft_relative,
     "demand4x": figures.demand4x,
     "refinement_gain": figures.refinement_gain,
+    "robustness": figures.robustness,
 }
 
 
@@ -330,6 +337,144 @@ def cmd_scenario_diff(args) -> int:
     return 0 if diff.clean else 1
 
 
+def cmd_simulate(args) -> int:
+    """``repro simulate``: dynamic replay of a scenario, or the bench.
+
+    Spec mode streams every request of a ScenarioSpec (whose ``dynamics``
+    block must be set) through the event-driven simulator; ``--bench``
+    instead measures warm-start vs cold-re-solve reaction latency at
+    scale and (with ``--check``) gates it against a committed
+    ``BENCH_sim.json``. Exit code 0 on success, 1 on a bench regression,
+    2 when every simulated request failed.
+    """
+    if args.bench:
+        return _simulate_bench(args)
+    if not args.spec:
+        print("repro simulate: a spec path or --bench is required",
+              file=sys.stderr)
+        return 2
+    from repro.sim.runner import run_dynamic_scenario
+
+    spec = load_scenario(args.spec)
+    if spec.dynamics is None:
+        print(f"{args.spec}: scenario has no dynamics block; "
+              f"use 'repro scenario run' for static sweeps", file=sys.stderr)
+        return 2
+    policy = args.policy or spec.dynamics.policy
+    total = spec.size()
+    print(f"scenario  : {spec.name}" +
+          (f" — {spec.description}" if spec.description else ""))
+    print(f"requests  : {total}")
+    print(f"policy    : {policy}")
+
+    uri = args.cache
+    cache = open_cache(uri) if uri else None
+    progress = None
+    if args.progress:
+        def progress(index, request, result):
+            status = "ok" if result.success else "FAILED"
+            print(f"  [{index + 1}/{total}] {result.workflow} / "
+                  f"{result.algorithm}: {status}", file=sys.stderr)
+
+    out_fh = open(args.json, "w") if args.json else None
+    n_ok = n_failed = 0
+    event_dump = []
+    degradations, migrations, full_passes, react_total = [], 0, 0, 0.0
+    events_seen = 0
+    try:
+        for result in run_dynamic_scenario(spec, cache=cache,
+                                           progress=progress,
+                                           policy=args.policy):
+            if result.success:
+                n_ok += 1
+                extra = result.extra
+                degradations.append(extra.get("sim_degradation_pct", 0.0))
+                migrations += extra.get("sim_task_migrations", 0)
+                full_passes += extra.get("sim_full_passes", 0)
+                react_total += extra.get("sim_react_total_s", 0.0)
+                events_seen += extra.get("sim_events", 0)
+            else:
+                n_failed += 1
+            if out_fh is not None:
+                out_fh.write(result.to_json() + "\n")
+            if args.events_json:
+                event_dump.append({
+                    "workflow": result.workflow,
+                    "algorithm": result.algorithm,
+                    "tags": dict(result.tags),
+                    "events": result.extra.get("sim_event_log", []),
+                })
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+        stats = cache.stats() if cache is not None else None
+        if cache is not None:
+            cache.close()
+
+    print(f"simulated : {n_ok}/{total} ({n_failed} failed)")
+    print(f"events    : {events_seen}")
+    if degradations:
+        mean = sum(degradations) / len(degradations)
+        print(f"degradation: mean={mean:+.1f}% max={max(degradations):+.1f}%")
+    print(f"migrations: {migrations}")
+    print(f"full passes: {full_passes}")
+    print(f"react     : total={react_total:.3f}s")
+    if stats is not None:
+        print(f"cache     : hits={stats['hits']} misses={stats['misses']} "
+              f"entries={stats['entries']}")
+    if args.events_json:
+        with open(args.events_json, "w", encoding="utf-8") as fh:
+            json.dump(event_dump, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"event log written to {args.events_json}")
+    if args.json:
+        print(f"results written to {args.json} (one envelope per line)")
+    return 0 if n_ok or total == 0 else 2
+
+
+def _simulate_bench(args) -> int:
+    from repro.sim.bench import (
+        DEFAULT_N,
+        DEFAULT_REPEATS,
+        DEFAULT_TOLERANCE,
+        compare_sim_to_baseline,
+        load_sim_report,
+        run_sim_bench,
+        write_sim_report,
+    )
+
+    n = args.n if args.n is not None else DEFAULT_N
+    repeats = args.repeats if args.repeats is not None else DEFAULT_REPEATS
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else DEFAULT_TOLERANCE)
+    report = run_sim_bench(
+        n=n, seed=args.seed, repeats=repeats,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    print(f"sim bench : n={report['n']} blocks={report['n_blocks']} "
+          f"plan makespan={report['plan_makespan']:.2f}")
+    for policy, entry in report["policies"].items():
+        print(f"  {policy:<10} react {entry['react_total_s']*1e3:9.2f}ms  "
+              f"realized {entry['realized_makespan']:12.2f}  "
+              f"degradation {entry['degradation_pct']:+6.1f}%  "
+              f"full passes {entry['full_passes']}  "
+              f"migrations {entry['task_migrations']}")
+    print(f"speedup   : {report['speedup']:.1f}x "
+          f"(warm-start vs cold re-solve)")
+    if args.out:
+        write_sim_report(report, args.out)
+        print(f"report written to {args.out}")
+    if args.check:
+        problems = compare_sim_to_baseline(report, load_sim_report(args.check),
+                                           tolerance=tolerance)
+        if problems:
+            print(f"REGRESSION vs {args.check}:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check} (tolerance {tolerance:g})")
+    return 0
+
+
 def cmd_profile(args) -> int:
     """``repro profile``: kernel benchmarks + perf-trajectory gate.
 
@@ -483,6 +628,41 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--tolerance", type=float, default=1e-9,
                     help="relative makespan tolerance (default 1e-9)")
     pd.set_defaults(func=cmd_scenario_diff)
+
+    p = sub.add_parser(
+        "simulate",
+        help="replay a dynamic scenario / run the warm-start bench")
+    p.add_argument("spec", nargs="?",
+                   help="scenario spec (.json) with a dynamics block")
+    p.add_argument("--policy", choices=["static", "warmstart", "resolve"],
+                   default=None,
+                   help="override the spec's reaction policy")
+    p.add_argument("--cache", metavar="URI",
+                   help="result cache (sqlite:///path.db, jsonl://DIR, or a "
+                        "directory); keyed by the dynamic fingerprint")
+    p.add_argument("--json", metavar="FILE",
+                   help="write result envelopes to FILE as JSONL")
+    p.add_argument("--events-json", metavar="FILE",
+                   help="write the resolved per-request event logs "
+                        "(deterministic: byte-identical across runs)")
+    p.add_argument("--progress", action="store_true")
+    p.add_argument("--bench", action="store_true",
+                   help="run the warm-start vs cold-re-solve benchmark "
+                        "instead of a spec")
+    p.add_argument("--n", type=int, default=None,
+                   help="bench instance size (default 10000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=None,
+                   help="min-of-k repetitions for bench latencies (default 3)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the bench JSON report (e.g. BENCH_sim.json)")
+    p.add_argument("--check", metavar="BASELINE",
+                   help="compare the bench against a committed report; "
+                        "exit 1 on regression (the CI warm-start gate)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed fraction of the baseline speedup "
+                        "(default 0.4)")
+    p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
         "profile", help="benchmark the kernels / gate the perf trajectory")

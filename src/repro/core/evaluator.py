@@ -35,8 +35,10 @@ Change tracking
 ---------------
 The evaluator subscribes to the quotient's op log
 (:meth:`QuotientGraph.enable_oplog`): ``merge`` / ``unmerge`` /
-``set_proc`` record themselves, and the evaluator folds the pending ops
-into its caches lazily on the next query. Mutations therefore commit or
+``set_proc`` — and the incremental growth ops the dynamic simulator
+uses for warm-start repair (``add_block`` / ``add_quotient_edge`` /
+``set_work``) — record themselves, and the evaluator folds the pending
+ops into its caches lazily on the next query. Mutations therefore commit or
 roll back for free — undoing a tentative change just appends the inverse
 op, and the sync touches the (identical) affected set once. If the log
 overflows, or the quotient was rebuilt wholesale, the evaluator falls
@@ -193,8 +195,17 @@ class MakespanEvaluator:
                 mentioned.add(op[1])
             elif kind in ("merge", "unmerge"):
                 mentioned.update(op[1:])
+            elif kind in ("add", "work"):
+                # a new vertex, or one whose work changed: its own weight
+                # (and its ancestors') must be recomputed; descendants
+                # keep their cached weights
+                mentioned.add(op[1])
+            elif kind == "edge":
+                # a new edge a -> b reprices the tail only — bottom
+                # weights depend on descendants, and b's are unchanged
+                mentioned.add(op[1])
             else:
-                # "add" / "rebuild" (structure changed wholesale) or
+                # "rebuild" (structure changed wholesale) or
                 # ("proc", None) — touch() after direct blk.proc writes,
                 # where the affected set is unknown
                 self._rebuild()

@@ -188,7 +188,11 @@ class QuotientGraph:
 
     def _add_block(self, tasks: Set[Node], proc: Optional[Processor] = None) -> BlockId:
         bid = next(self._ids)
-        work = sum(self.wf.work(u) for u in tasks)
+        # sum in a stable order: set iteration follows string hashes,
+        # which vary per process, and float addition is order-sensitive
+        # in the last bit — block works must be cross-process exact for
+        # the simulator's determinism contract
+        work = sum(self.wf.work(u) for u in sorted(tasks, key=repr))
         self.blocks[bid] = QBlock(tasks=tasks, work=work, proc=proc)
         self.succ[bid] = {}
         self.pred[bid] = {}
@@ -196,6 +200,58 @@ class QuotientGraph:
             self._task_block[u] = bid
         self._log(("add", bid))
         return bid
+
+    # ------------------------------------------------------------------
+    # incremental growth (the dynamic simulator's warm-start entry points)
+    # ------------------------------------------------------------------
+    def add_block(self, tasks: Iterable[Node],
+                  proc: Optional[Processor] = None) -> BlockId:
+        """Add one block *incrementally*, without an edge rebuild.
+
+        The tasks must already exist in the workflow and must not be
+        covered by another block. The new vertex starts with no quotient
+        edges — connect it with :meth:`add_quotient_edge` (tasks arriving
+        as an independent job need none). Incremental consumers see an
+        ``("add", bid)`` op and fold the new vertex in without a full
+        bottom-weight pass.
+        """
+        task_set = set(tasks)
+        if not task_set:
+            raise InvalidPartitionError("cannot add an empty block")
+        for u in task_set:
+            if u not in self.wf:
+                raise InvalidPartitionError(
+                    f"task {u!r} is not in the workflow")
+            if u in self._task_block:
+                raise InvalidPartitionError(
+                    f"task {u!r} already belongs to block {self._task_block[u]}")
+        return self._add_block(task_set, proc)
+
+    def add_quotient_edge(self, a: BlockId, b: BlockId, cost: float) -> None:
+        """Add (or strengthen) the quotient edge ``a -> b`` incrementally.
+
+        Logged as ``("edge", a, b)`` — only the tail's bottom weight (and
+        its ancestors') can change, so the evaluator reprices a handful of
+        vertices instead of rebuilding. Acyclicity is *checked elsewhere*,
+        exactly like :meth:`merge`.
+        """
+        if a not in self.blocks or b not in self.blocks:
+            raise KeyError(f"unknown block in edge {a} -> {b}")
+        if a == b:
+            raise ValueError("a quotient self-loop is meaningless")
+        self.succ[a][b] = self.succ[a].get(b, 0.0) + cost
+        self.pred[b][a] = self.pred[b].get(a, 0.0) + cost
+        self._log(("edge", a, b))
+
+    def set_work(self, bid: BlockId, work: float) -> None:
+        """Replace the work of ``bid`` (runtime-inflation events).
+
+        Logged as ``("work", bid)``; incremental consumers reprice the
+        block and its ancestors only. The compiled CSR view refreshes too
+        (work is part of its structure snapshot).
+        """
+        self.blocks[bid].work = float(work)
+        self._log(("work", bid))
 
     def _rebuild_edges(self) -> None:
         self._log(("rebuild",))

@@ -473,3 +473,76 @@ def demand4x(seed=0, full=None, families=None, sizes=None,
                 "relative_makespan_pct_4x": rel_by_factor[4.0].get(cat, float("nan")),
             })
     return {"rows": rows, "records": all_records}
+
+
+# ----------------------------------------------------------------------
+# Dynamic scenarios: robustness of the reaction policies (ROADMAP item 4)
+# ----------------------------------------------------------------------
+def robustness(seed=0, full=None, families=None, sizes=None,
+               config: Optional[DagHetPartConfig] = None,
+               progress=None, parallel=None) -> Dict[str, List]:
+    """Robustness table: each reaction policy under one perturbation mix.
+
+    Every (family, policy) cell replays the same ``daghetpart`` plan for
+    the same seeded dynamics — Poisson job arrivals, one mid-run
+    processor failure, one runtime-inflation shock — so the columns
+    isolate the policy: makespan degradation over the undisturbed plan,
+    task migrations, wholesale re-solves, and reaction latency.
+    ``parallel`` is accepted for signature parity; the replay is
+    sequential by design.
+    """
+    from repro.api.envelopes import ScheduleRequest
+    from repro.generators.families import generate_workflow
+    from repro.platform.presets import cluster_by_name
+    from repro.sim.events import (
+        DynamicsSpec,
+        PoissonArrivals,
+        ProcessorChurn,
+        RuntimeInflation,
+    )
+    from repro.sim.policies import available_policies
+    from repro.sim.runner import simulate_request
+
+    families = tuple(families) if families else ("blast", "genome", "montage")
+    n_tasks = int(sizes[0]) if sizes else (300 if full else 80)
+    part_config = config or DagHetPartConfig()
+
+    rows: List[Dict] = []
+    records = []
+    for family in families:
+        wf = generate_workflow(family, n_tasks, seed=seed)
+        request = ScheduleRequest(
+            workflow=wf, cluster=cluster_by_name("default"),
+            algorithm="daghetpart", config=part_config,
+            scale_memory=True,
+            tags={"instance": f"{family}-{n_tasks}", "family": family})
+        models = (
+            PoissonArrivals(rate=3.0, count=2, family=family,
+                            n_tasks=max(10, n_tasks // 8), start=0.1),
+            ProcessorChurn(fail_times=(0.4,)),
+            RuntimeInflation(times=(0.55,), sigma=0.25, fraction=0.5),
+        )
+        for policy in available_policies():
+            if progress is not None:
+                progress(f"robustness: {family}-{n_tasks} / {policy}")
+            result = simulate_request(
+                request, DynamicsSpec(models=models, seed=seed + 17,
+                                      policy=policy))
+            records.append(result)
+            if result.failure is not None:
+                rows.append({"family": family, "policy": policy,
+                             "failure": result.failure.kind})
+                continue
+            extra = result.extra
+            rows.append({
+                "family": family,
+                "policy": policy,
+                "plan_makespan": round(extra["sim_plan_makespan"], 2),
+                "realized_makespan": round(extra["sim_realized_makespan"], 2),
+                "degradation_pct": round(extra["sim_degradation_pct"], 1),
+                "migrations": extra["sim_task_migrations"],
+                "replans": extra["sim_replans"],
+                "full_passes": extra["sim_full_passes"],
+                "react_total_s": round(extra["sim_react_total_s"], 4),
+            })
+    return {"rows": rows, "records": records}

@@ -1,0 +1,74 @@
+"""Event-driven dynamic-scheduling simulator (ROADMAP item 4).
+
+Replays a computed mapping under a virtual clock while a seeded
+perturbation stream — job arrivals, processor fail/leave/join,
+stochastic runtime inflation — disturbs it, and measures robustness:
+makespan degradation against the undisturbed plan, re-solve latency,
+and task migrations. Reaction policies (``static`` / ``warmstart`` /
+``resolve``) live behind a registry mirroring ``@register_algorithm``.
+
+Only the frozen event models are imported eagerly; the engine, the
+policies, the scenario runner, and the benchmark load lazily so that
+``repro.api`` can depend on :class:`DynamicsSpec` without a cycle.
+"""
+
+from repro.sim.events import (
+    EVENT_KINDS,
+    EVENT_MODEL_KINDS,
+    DynamicsSpec,
+    PoissonArrivals,
+    ProcessorChurn,
+    RuntimeInflation,
+    SimEvent,
+    TraceArrivals,
+    model_from_dict,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_MODEL_KINDS",
+    "DynamicsSpec",
+    "PoissonArrivals",
+    "ProcessorChurn",
+    "RuntimeInflation",
+    "SimEvent",
+    "TraceArrivals",
+    "model_from_dict",
+    # lazy (see __getattr__)
+    "SimEngine",
+    "SimReport",
+    "available_policies",
+    "get_policy",
+    "policy_infos",
+    "register_policy",
+    "simulate_request",
+    "run_dynamic_scenario",
+    "dynamic_fingerprint",
+    "run_sim_bench",
+    "compare_sim_to_baseline",
+]
+
+_LAZY = {
+    "SimEngine": "repro.sim.engine",
+    "SimReport": "repro.sim.engine",
+    "available_policies": "repro.sim.policies",
+    "get_policy": "repro.sim.policies",
+    "policy_infos": "repro.sim.policies",
+    "register_policy": "repro.sim.policies",
+    "simulate_request": "repro.sim.runner",
+    "run_dynamic_scenario": "repro.sim.runner",
+    "dynamic_fingerprint": "repro.sim.runner",
+    "run_sim_bench": "repro.sim.bench",
+    "compare_sim_to_baseline": "repro.sim.bench",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(target)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

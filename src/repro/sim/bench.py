@@ -1,0 +1,139 @@
+"""Warm-start vs cold re-solve benchmark (the ``BENCH_sim.json`` gate).
+
+One 10k-task paper-family DAG is planned once, then replayed twice under
+the identical mid-run failure of the *busiest* processor (a random
+victim usually hits an idle machine and nobody has to repair anything) —
+once with the ``warmstart`` policy (incremental repair priced by
+evaluator deltas) and once with ``resolve`` (cold re-solve of the
+remainder through the registered algorithm). The committed report
+records the reaction-latency speedup; :func:`compare_sim_to_baseline`
+is the CI gate:
+
+* ``warmstart`` must spend **zero** full bottom-weight passes (the
+  engine's evaluator pass counter is the witness);
+* its realized makespan must be equal or better than ``resolve``'s;
+* the measured speedup must stay above ``tolerance`` x the committed
+  baseline speedup (and above 1x absolutely).
+
+Latencies are min-of-``repeats``; everything else is deterministic per
+seed, so two runs of the same config disagree only on wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+#: benchmark defaults — the acceptance scale of the issue
+DEFAULT_N = 10_000
+DEFAULT_REPEATS = 3
+DEFAULT_TOLERANCE = 0.4
+
+#: the two policies the gate compares
+POLICIES = ("warmstart", "resolve")
+
+
+def run_sim_bench(n: int = DEFAULT_N, seed: int = 0,
+                  repeats: int = DEFAULT_REPEATS,
+                  family: str = "blast", algorithm: str = "daghetpart",
+                  progress: Optional[Callable[[str], None]] = None,
+                  ) -> Dict[str, Any]:
+    """Measure warm-start vs cold-re-solve reaction cost at scale ``n``."""
+    from repro.api.batch import solve
+    from repro.api.envelopes import ScheduleRequest
+    from repro.generators.families import generate_workflow
+    from repro.platform.presets import cluster_by_name
+    from repro.sim.engine import SimEngine
+    from repro.sim.events import DynamicsSpec, ProcessorChurn
+
+    if progress:
+        progress(f"planning {family}-{n} with {algorithm}")
+    wf = generate_workflow(family, n, seed=seed)
+    plan = solve(ScheduleRequest(
+        workflow=wf, cluster=cluster_by_name("default"),
+        algorithm=algorithm, scale_memory=True, want_mapping=True))
+    if plan.failure is not None or plan.mapping is None:
+        raise RuntimeError(f"bench plan failed: {plan.failure}")
+
+    # fail the processor carrying the most tasks, early enough that its
+    # block is still in flight: both policies face real repair work
+    victim = max(plan.mapping.assignments,
+                 key=lambda a: len(a.tasks)).processor.name
+    churn = ProcessorChurn(fail_times=(0.25,), victims=(victim,))
+    report: Dict[str, Any] = {
+        "n": n, "seed": seed, "repeats": repeats,
+        "family": family, "algorithm": algorithm,
+        "plan_makespan": plan.makespan,
+        "n_blocks": plan.n_blocks,
+        "victim": victim,
+        "policies": {},
+    }
+    for policy in POLICIES:
+        dynamics = DynamicsSpec(models=(churn,), seed=seed + 1,
+                                policy=policy)
+        best: Optional[Dict[str, Any]] = None
+        for rep in range(max(1, repeats)):
+            if progress:
+                progress(f"replaying {policy} ({rep + 1}/{max(1, repeats)})")
+            sim = SimEngine(plan.mapping, dynamics,
+                            algorithm=algorithm).run()
+            entry = {
+                "react_total_s": sim.metrics["sim_react_total_s"],
+                "react_max_s": sim.metrics["sim_react_max_s"],
+                "realized_makespan": sim.realized,
+                "degradation_pct": sim.degradation_pct,
+                "full_passes": sim.metrics["sim_full_passes"],
+                "task_migrations": sim.metrics["sim_task_migrations"],
+                "replans": sim.metrics["sim_replans"],
+            }
+            if best is None or entry["react_total_s"] < best["react_total_s"]:
+                best = entry
+        report["policies"][policy] = best
+    warm = report["policies"]["warmstart"]
+    cold = report["policies"]["resolve"]
+    report["speedup"] = (cold["react_total_s"] / warm["react_total_s"]
+                         if warm["react_total_s"] > 0 else float("inf"))
+    return report
+
+
+def compare_sim_to_baseline(report: Dict[str, Any],
+                            baseline: Dict[str, Any],
+                            tolerance: float = DEFAULT_TOLERANCE
+                            ) -> List[str]:
+    """Regression check against a committed report; empty list = pass."""
+    problems: List[str] = []
+    warm = report["policies"].get("warmstart")
+    cold = report["policies"].get("resolve")
+    if warm is None or cold is None:
+        return [f"report is missing a policy entry: "
+                f"{sorted(report['policies'])}"]
+    if warm["full_passes"] != 0:
+        problems.append(
+            f"warmstart spent {warm['full_passes']} full bottom-weight "
+            f"pass(es); the warm-start contract is zero")
+    if warm["realized_makespan"] > cold["realized_makespan"] * (1 + 1e-9):
+        problems.append(
+            f"warmstart realized {warm['realized_makespan']:.6g} is worse "
+            f"than resolve's {cold['realized_makespan']:.6g}")
+    speedup = report.get("speedup", 0.0)
+    if speedup <= 1.0:
+        problems.append(
+            f"warmstart is not faster than cold re-solve "
+            f"(speedup {speedup:.2f}x)")
+    floor = baseline.get("speedup", 0.0) * tolerance
+    if speedup < floor:
+        problems.append(
+            f"speedup {speedup:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:g} x the committed {baseline.get('speedup'):.2f}x)")
+    return problems
+
+
+def write_sim_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_sim_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -141,6 +141,88 @@ def test_tentative_probes_leave_no_residue():
     assert ev.full_recomputes == 1
 
 
+@pytest.mark.parametrize("family,n,k,seed", [
+    ("blast", 60, 8, 0),
+    ("genome", 80, 12, 4),
+])
+def test_processor_failure_replay_matches_full_recompute(family, n, k, seed):
+    """Evacuating a dead processor via ``set_proc`` keeps deltas consistent.
+
+    The dynamic simulator reacts to a processor failure by reassigning
+    every block off the victim; this replays exactly that — each victim in
+    turn, all of its blocks moved to survivors (round-robin), with a
+    from-scratch recompute checked after every single reassignment and
+    after each complete evacuation.
+    """
+    cluster = default_cluster()
+    q = _assigned_quotient(family, n, k, cluster, seed)
+    ev = MakespanEvaluator(q, cluster)
+    step = 0
+    for victim in cluster.processors[:4]:
+        survivors = [p for p in cluster.processors if p.name != victim.name]
+        doomed = sorted(bid for bid, blk in q.blocks.items()
+                        if blk.proc is not None and blk.proc.name == victim.name)
+        for i, bid in enumerate(doomed):
+            # the failure first orphans the block (proc=None: the paper's
+            # default-speed estimate), then the repair re-places it
+            ev.apply_move(bid, None)
+            _check_against_full(q, cluster, ev, step)
+            ev.apply_move(bid, survivors[i % len(survivors)])
+            step += 1
+            _check_against_full(q, cluster, ev, step)
+        assert victim.name not in q.used_processors()
+    # every failure was priced incrementally — zero extra full passes
+    assert ev.full_recomputes == 1
+    assert ev.delta_syncs > 0
+
+
+def test_incremental_growth_ops_match_full_recompute():
+    """add_block / add_quotient_edge / set_work fold in without full passes.
+
+    This is the arrival/inflation path of the dynamic simulator: new jobs
+    join the live quotient as fresh blocks, get wired to existing blocks,
+    and running blocks see their work revised — all priced by delta sync.
+    """
+    cluster = default_cluster()
+    q = _assigned_quotient("soykb", 60, 8, cluster, seed=6)
+    ev = MakespanEvaluator(q, cluster)
+    assert ev.full_recomputes == 1
+    rng = make_rng(13)
+    procs = cluster.processors
+    next_task = 10_000  # far above any generated task id
+    for step in range(40):
+        roll = rng.random()
+        ids = sorted(q.blocks)
+        if roll < 0.4:
+            # a small arriving job: fresh tasks, one new block
+            size = int(rng.integers(1, 4))
+            tasks = []
+            for _ in range(size):
+                q.wf.add_task(next_task, work=float(rng.uniform(0.5, 3.0)),
+                              memory=float(rng.uniform(0.1, 1.0)))
+                tasks.append(next_task)
+                next_task += 1
+            bid = q.add_block(tasks, procs[int(rng.integers(len(procs)))])
+            assert q.blocks[bid].work > 0
+        elif roll < 0.7:
+            # wire an existing block to another (low id -> high id keeps
+            # the quotient acyclic, mirroring the test DAG convention)
+            a = ids[int(rng.integers(len(ids)))]
+            b = ids[int(rng.integers(len(ids)))]
+            if a == b:
+                continue
+            a, b = min(a, b), max(a, b)
+            q.add_quotient_edge(a, b, float(rng.uniform(0.1, 2.0)))
+        else:
+            # runtime inflation: a block's work estimate is revised up
+            bid = ids[int(rng.integers(len(ids)))]
+            q.set_work(bid, q.blocks[bid].work * float(rng.uniform(1.0, 1.5)))
+        ev.makespan()
+        _check_against_full(q, cluster, ev, step)
+    assert ev.full_recomputes == 1
+    assert ev.delta_syncs > 0
+
+
 # ----------------------------------------------------------------------
 # property-based: the array kernel vs the reference kernel on arbitrary
 # DAGs (satellite of the flat-array-core PR)
