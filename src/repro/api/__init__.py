@@ -51,7 +51,13 @@ from repro.api.batch import (
     solve,
     solve_batch,
 )
-from repro.api.cache import CacheBackend, ResultCache, open_cache, request_fingerprint
+from repro.api.cache import (
+    CacheBackend,
+    ResultCache,
+    describe_cache,
+    open_cache,
+    request_fingerprint,
+)
 from repro.api.diff import diff_results, format_diff, load_result_lines
 from repro.api.exec import (
     BACKEND_ENV,
@@ -80,6 +86,7 @@ from repro.api.scenario import (
     save_scenario,
 )
 from repro.core.anneal import AnnealConfig
+from repro.core.exact import ExactConfig
 from repro.core.heuristic import SweepPoint
 
 __all__ = [
@@ -88,6 +95,7 @@ __all__ = [
     "AnnealConfig",
     "BACKEND_ENV",
     "CacheBackend",
+    "ExactConfig",
     "ExecutionBackend",
     "ExecutionPolicy",
     "ExecutionSpec",
@@ -111,6 +119,7 @@ __all__ = [
     "canonical_name",
     "collect_scenario",
     "create_backend",
+    "describe_cache",
     "diff_results",
     "expand",
     "format_diff",

@@ -138,9 +138,18 @@ class CacheBackend:
     here, so every backend behaves identically.
     """
 
+    #: short storage-kind label ("jsonl", "sqlite", ...) surfaced by
+    #: :func:`describe_cache`; subclasses override
+    kind = "custom"
+
     def __init__(self):
         self.hits = 0
         self.misses = 0
+
+    @property
+    def location(self) -> str:
+        """Where the backend stores its entries (path, URI, ...)."""
+        return ""
 
     # -- what a storage backend must provide ---------------------------
     def _read(self, fingerprint: str) -> Optional[ScheduleResult]:
@@ -210,6 +219,8 @@ class ResultCache(CacheBackend):
     after a crash — picks up every complete line.
     """
 
+    kind = "jsonl"
+
     def __init__(self, directory: str):
         super().__init__()
         self.directory = str(directory)
@@ -220,6 +231,10 @@ class ResultCache(CacheBackend):
         self._load()
         self._fh = None  # append handle (binary), opened on first put
         self._rfh = None  # read handle (binary), opened on first hit
+
+    @property
+    def location(self) -> str:
+        return self.directory
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
@@ -330,3 +345,24 @@ def open_cache(uri: "str | CacheBackend") -> CacheBackend:
             f"unknown cache URI scheme {scheme + '://'!r}; valid: "
             f"{SQLITE_SCHEME!r}, {JSONL_SCHEME!r}, or a plain directory path")
     return ResultCache(uri)
+
+
+def describe_cache(backend: CacheBackend) -> Dict[str, Any]:
+    """One observability payload for any backend, shared by every surface.
+
+    ``repro cache stats`` prints it and the service's ``/v1/stats``
+    endpoint embeds it, so the CLI and the HTTP API can never drift:
+    storage kind, location, stored-entry count, and this *session's*
+    hit/miss counters (both shipped stores persist entries, not
+    counters — a freshly opened cache always starts at 0/0).
+    """
+    stats = backend.stats()
+    total = stats["hits"] + stats["misses"]
+    return {
+        "kind": backend.kind,
+        "location": backend.location,
+        "entries": stats["entries"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": round(stats["hits"] / total, 6) if total else None,
+    }

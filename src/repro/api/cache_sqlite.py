@@ -41,6 +41,8 @@ class SqliteResultCache(CacheBackend):
     :class:`~repro.api.cache.CacheBackend` contract.
     """
 
+    kind = "sqlite"
+
     def __init__(self, path: str):
         super().__init__()
         self.path = str(path)
@@ -56,6 +58,10 @@ class SqliteResultCache(CacheBackend):
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(_SCHEMA)
         self._conn.commit()
+
+    @property
+    def location(self) -> str:
+        return self.path
 
     def put(self, fingerprint: str, result: ScheduleResult) -> None:
         """Record a freshly computed result; duplicates are ignored.

@@ -26,6 +26,7 @@ from repro.core.anneal import AnnealConfig, anneal_refine
 from repro.core.baseline import dag_het_mem
 from repro.core.cpack import critical_path_pack, rank_order, upward_ranks
 from repro.core.evaluator import MakespanEvaluator
+from repro.core.exact import ExactConfig, exact_schedule
 from repro.core.heuristic import DagHetPartConfig, dag_het_part_sweep
 from repro.core.mapping import BlockAssignment, Mapping
 from repro.memdag.requirement import RequirementCache
@@ -232,21 +233,50 @@ class AnnealScheduler:
             })
 
 
+@register_algorithm(
+    "exact", display_name="Exact",
+    config_cls=ExactConfig,
+    capabilities=("exact", "reference", "makespan-optimizing",
+                  "memory-packing", "tiny-only", "configurable"),
+    summary="exhaustive reference solver for tiny instances (<= 8 tasks "
+            "by default): enumerates every acyclic, memory-feasible set "
+            "partition and branch-and-bounds processor-kind assignments "
+            "under uniform bandwidth; provably optimal, used to measure "
+            "heuristic optimality gaps")
+class ExactScheduler:
+    """The optimality yardstick (see :mod:`repro.core.exact`).
+
+    Carries ``tiny-only`` so the portfolio's default capability filter
+    never drafts it onto instances it would reject with ``ValueError``;
+    searched-space counters ride on ``SchedulerOutput.extra``.
+    """
+
+    def run(self, workflow: Workflow, cluster: Cluster,
+            config: Optional[ExactConfig] = None) -> SchedulerOutput:
+        if config is not None and not isinstance(config, ExactConfig):
+            raise TypeError(
+                f"exact expects an ExactConfig, got {type(config).__name__}")
+        mapping, stats = exact_schedule(workflow, cluster, config=config)
+        return SchedulerOutput(mapping=mapping, extra=dict(stats))
+
+
 @dataclass(frozen=True)
 class PortfolioConfig:
     """Membership and execution knobs of the portfolio meta-scheduler.
 
     ``algorithms=None`` selects every registered algorithm whose
     capabilities avoid ``exclude_capabilities`` (by default: other meta
-    schedulers, to prevent recursion, and memory-oblivious baselines,
-    whose mappings may violate the memory constraint the portfolio is
-    supposed to respect). Members run with their default configs.
-    ``parallel`` fans the member solves out over worker processes
-    (0/1 = serial).
+    schedulers, to prevent recursion; memory-oblivious baselines, whose
+    mappings may violate the memory constraint the portfolio is supposed
+    to respect; and tiny-only reference solvers, which raise on the
+    instance sizes the portfolio usually sees). Members run with their
+    default configs. ``parallel`` fans the member solves out over worker
+    processes (0/1 = serial).
     """
 
     algorithms: Optional[Tuple[str, ...]] = None
-    exclude_capabilities: Tuple[str, ...] = ("meta", "memory-oblivious")
+    exclude_capabilities: Tuple[str, ...] = ("meta", "memory-oblivious",
+                                             "tiny-only")
     parallel: int = 0
 
     def __post_init__(self):

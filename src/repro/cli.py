@@ -27,6 +27,13 @@ Commands
                 gate: it fails when a case's speedup falls below the
                 committed baseline x tolerance, or a gated case drops
                 under the absolute 5x floor);
+``serve``       run the asyncio HTTP scheduling service (durable job
+                store, live stats, graceful drain); ``--loadtest`` runs
+                the burst benchmark and gates against
+                ``BENCH_service.json`` (``--check``);
+``cache``       result-cache utilities (``cache stats URI`` prints kind,
+                location, and entry count — the same accessor the
+                service's ``/v1/stats`` uses);
 ``info``        print cluster presets (Tables 2-3) and corpus sizes.
 """
 
@@ -83,6 +90,7 @@ EXPERIMENTS = {
     "demand4x": figures.demand4x,
     "refinement_gain": figures.refinement_gain,
     "robustness": figures.robustness,
+    "optimality_gap": figures.optimality_gap,
 }
 
 
@@ -529,6 +537,99 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the HTTP scheduling service / the load test.
+
+    Service mode blocks until SIGTERM/SIGINT or ``POST /v1/shutdown``
+    (graceful: in-flight jobs drain, new submissions get 503).
+    ``--loadtest`` instead benchmarks a throwaway in-process service —
+    burst-submits ``--jobs`` concurrent jobs, measures submit/drain
+    latency and throughput vs the offline batch façade — and (with
+    ``--check``) gates against a committed ``BENCH_service.json``.
+    Exit code 0 on success, 1 on a load-test regression.
+    """
+    if args.loadtest:
+        return _serve_loadtest(args)
+    import asyncio
+
+    from repro.service import serve
+
+    try:
+        asyncio.run(serve(
+            host=args.host, port=args.port, store_dir=args.store,
+            cache=args.cache, backend=args.backend, workers=args.workers,
+            parallel=args.parallel if args.parallel is not None else 0))
+    except KeyboardInterrupt:
+        pass  # Ctrl-C before the signal handler installs: quiet exit
+    return 0
+
+
+def _serve_loadtest(args) -> int:
+    from repro.service.loadtest import (
+        DEFAULT_CONNECTIONS,
+        DEFAULT_JOBS,
+        DEFAULT_N_TASKS,
+        DEFAULT_SAMPLE,
+        DEFAULT_TOLERANCE,
+        compare_service_to_baseline,
+        load_service_report,
+        run_service_loadtest,
+        write_service_report,
+    )
+
+    n_jobs = args.jobs if args.jobs is not None else DEFAULT_JOBS
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else DEFAULT_TOLERANCE)
+    report = run_service_loadtest(
+        n_jobs=n_jobs, workers=args.workers,
+        connections=args.connections or DEFAULT_CONNECTIONS,
+        n_tasks=args.n_tasks or DEFAULT_N_TASKS,
+        seed=args.seed,
+        sample=args.sample or DEFAULT_SAMPLE,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    submit, drain, offline = (report["submit"], report["drain"],
+                              report["offline"])
+    print(f"load test : {report['n_jobs']} jobs, {report['workers']} "
+          f"worker(s), {report['connections']} connection(s)")
+    print(f"submitted : {report['accepted']}/{report['n_jobs']} "
+          f"in {submit['total_s']:.2f}s ({submit['rate_per_s']:.0f}/s, "
+          f"p50 {submit['p50_ms']:.1f}ms p99 {submit['p99_ms']:.1f}ms)")
+    print(f"peak      : {report['peak_active']} jobs in flight")
+    print(f"drained   : {drain['total_s']:.2f}s "
+          f"({drain['rate_per_s']:.1f} req/s)")
+    print(f"offline   : {offline['rate_per_s']:.1f} req/s "
+          f"(sample of {offline['sample']})")
+    print(f"efficiency: {report['efficiency']:.3f} (service/offline)")
+    if args.out:
+        write_service_report(report, args.out)
+        print(f"report written to {args.out}")
+    if args.check:
+        problems = compare_service_to_baseline(
+            report, load_service_report(args.check), tolerance=tolerance)
+        if problems:
+            print(f"REGRESSION vs {args.check}:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check} (tolerance {tolerance:g})")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    """``repro cache stats``: describe a result cache by URI."""
+    from repro.api import describe_cache
+
+    cache = open_cache(args.uri)
+    try:
+        info = describe_cache(cache)
+    finally:
+        cache.close()
+    print(f"kind      : {info['kind']}")
+    print(f"location  : {info['location']}")
+    print(f"entries   : {info['entries']}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """``repro info``: print presets and corpus configuration."""
     rows2 = figures.table2()["rows"]
@@ -683,6 +784,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fraction of the baseline speedup "
                         "(default 0.5)")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP scheduling service / the load test")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--store", metavar="DIR", default="service-store",
+                   help="durable job-store directory (append-only JSONL; "
+                        "restart resumes queued jobs and reports crashed "
+                        "ones)")
+    p.add_argument("--cache", metavar="URI", default=None,
+                   help="result cache shared by all jobs "
+                        "(sqlite:///path.db, jsonl://DIR, or a directory)")
+    p.add_argument("--backend", choices=sorted(available_backends()),
+                   default=None,
+                   help="execution backend per job (default: routed like "
+                        "the offline batch façade)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent jobs (each fans its requests out per "
+                        "--parallel)")
+    p.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
+                   help="workers per job for batch fan-out "
+                        "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
+    p.add_argument("--loadtest", action="store_true",
+                   help="benchmark a throwaway in-process service instead "
+                        "of serving")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="load-test burst size (default 1024)")
+    p.add_argument("--connections", type=int, default=None,
+                   help="pooled keep-alive submit connections (default 64)")
+    p.add_argument("--n-tasks", type=int, default=None,
+                   help="tasks per load-test workflow (default 16)")
+    p.add_argument("--sample", type=int, default=None,
+                   help="offline-reference sample size (default 192)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="FILE",
+                   help="write the load-test JSON report "
+                        "(e.g. BENCH_service.json)")
+    p.add_argument("--check", metavar="BASELINE",
+                   help="compare the load test against a committed report; "
+                        "exit 1 on regression (the CI service gate)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed fraction of the baseline efficiency "
+                        "(default 0.5)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache", help="result-cache utilities")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    pc = csub.add_parser(
+        "stats", help="describe a cache (kind, location, entries)")
+    pc.add_argument("uri", help="sqlite:///path.db, jsonl://DIR, or a "
+                                "directory")
+    pc.set_defaults(func=cmd_cache_stats)
 
     p = sub.add_parser("info", help="show presets and corpus configuration")
     p.set_defaults(func=cmd_info)

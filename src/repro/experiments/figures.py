@@ -546,3 +546,96 @@ def robustness(seed=0, full=None, families=None, sizes=None,
                 "react_total_s": round(extra["sim_react_total_s"], 4),
             })
     return {"rows": rows, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Optimality gap: heuristics vs the exhaustive reference solver
+# ----------------------------------------------------------------------
+def optimality_gap(seed=0, full=None, families=None, sizes=None,
+                   config: Optional[DagHetPartConfig] = None,
+                   progress=None, parallel=None) -> Dict[str, List]:
+    """How far from optimal are the heuristics on tiny instances?
+
+    Every family x size instance small enough for the ``exact`` reference
+    solver (<= 8 tasks after generation; the topology builders treat
+    ``n_tasks`` as approximate, so oversized outputs are skipped and
+    reported) is solved by ``exact`` and by every memory-aware heuristic;
+    the table shows each heuristic's geometric-mean and worst gap
+    (``makespan / optimum - 1``, in %) plus how many instances it solved
+    to proven optimality. ``full``/``config`` are accepted for driver
+    signature parity; the instance sizes are intrinsically capped by the
+    solver, so the corpus knobs do not grow this table.
+    """
+    import math
+
+    from repro.api import ScheduleRequest, solve_batch
+    from repro.core.exact import DEFAULT_MAX_TASKS
+    from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
+    from repro.utils.rng import stable_hash
+
+    families = tuple(families) if families else WORKFLOW_FAMILIES
+    size_list = tuple(int(n) for n in sizes) if sizes else (5, 6, 7, 8)
+    heuristics = ("daghetpart", "daghetmem", "cpack", "anneal")
+    cluster = cluster_by_name("default")
+
+    instances = []
+    skipped = []
+    for family in families:
+        for n in size_list:
+            inst_seed = (seed + stable_hash(f"{family}:{n}")) % (2 ** 31)
+            wf = generate_workflow(family, n, seed=inst_seed)
+            if wf.n_tasks > DEFAULT_MAX_TASKS:
+                skipped.append(f"{family}-{n}")
+                continue
+            instances.append((f"{family}-{n}", wf))
+    if progress is not None and skipped:
+        progress(f"optimality_gap: skipped oversized {', '.join(skipped)}")
+
+    requests = [
+        ScheduleRequest(workflow=wf, cluster=cluster, algorithm=alg,
+                        scale_memory=True,
+                        tags={"instance": name, "algorithm_name": alg})
+        for name, wf in instances
+        for alg in ("exact",) + heuristics
+    ]
+    results = solve_batch(requests, parallel=parallel)
+
+    by_instance: Dict[str, Dict[str, object]] = {}
+    for req, res in zip(requests, results):
+        by_instance.setdefault(req.tags["instance"], {})[req.algorithm] = res
+
+    gaps: Dict[str, List[float]] = {alg: [] for alg in heuristics}
+    optimal_counts: Dict[str, int] = {alg: 0 for alg in heuristics}
+    attempted: Dict[str, int] = {alg: 0 for alg in heuristics}
+    for name, _ in instances:
+        per_alg = by_instance[name]
+        exact_res = per_alg["exact"]
+        if not exact_res.success:
+            continue  # infeasible instance: no optimum to compare against
+        optimum = exact_res.makespan
+        for alg in heuristics:
+            res = per_alg[alg]
+            if not res.success:
+                continue
+            attempted[alg] += 1
+            gap = res.makespan / optimum - 1.0
+            gaps[alg].append(gap)
+            if gap <= 1e-9:
+                optimal_counts[alg] += 1
+
+    rows: List[Dict] = []
+    for alg in heuristics:
+        if not attempted[alg]:
+            continue
+        display = get_algorithm(alg).display_name
+        # shift by +1 so zero gaps survive the geometric mean
+        geo_gap = 100.0 * (math.exp(
+            sum(math.log(1.0 + g) for g in gaps[alg]) / len(gaps[alg])) - 1.0)
+        rows.append({
+            "algorithm": display,
+            "instances": attempted[alg],
+            "optimal": optimal_counts[alg],
+            "geo_gap_pct": round(geo_gap, 3),
+            "worst_gap_pct": round(100.0 * max(gaps[alg]), 3),
+        })
+    return {"rows": rows, "records": results}

@@ -1,0 +1,41 @@
+"""Scheduling-as-a-service: the async HTTP layer over ``repro.api``.
+
+The wire format was frozen in PRs 2/3 (``ScheduleRequest`` /
+``ScenarioSpec`` round-trip JSON), execution became pluggable in PR 5 —
+this package adds the missing front door: a long-running asyncio
+HTTP/JSON server (``repro serve``) with a durable job store, live
+stats, streaming progress, and a load-test regression gate
+(``BENCH_service.json``).
+
+Layering, bottom up:
+
+* :mod:`repro.service.jobs` — frozen ``JobSpec``/``JobStatus``/
+  ``JobResult`` envelopes;
+* :mod:`repro.service.store` — the append-only JSONL job store with
+  ``ResultCache``-style torn-line crash repair;
+* :mod:`repro.service.dispatcher` — asyncio queue + worker threads
+  feeding :func:`repro.api.batch.iter_solve_batch`;
+* :mod:`repro.service.app` — the HTTP listener and graceful shutdown;
+* :mod:`repro.service.client` — a blocking urllib client;
+* :mod:`repro.service.loadtest` — the throughput/latency benchmark
+  behind ``repro serve --loadtest``.
+"""
+
+from repro.service.app import ServiceApp, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.dispatcher import Dispatcher, ServiceDraining
+from repro.service.jobs import JobResult, JobSpec, JobStatus
+from repro.service.store import JobStore
+
+__all__ = [
+    "Dispatcher",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "JobStore",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceDraining",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,121 @@
+"""A small blocking client for the service (urllib, zero dependencies).
+
+The service speaks plain HTTP/JSON, so any client works — this one
+exists for the repo's own consumers: ``examples/service_demo.py``, the
+test suite, and the CI smoke leg. It intentionally mirrors the endpoint
+surface one-to-one instead of abstracting over it; the docstrings double
+as endpoint documentation.
+
+>>> client = ServiceClient("http://127.0.0.1:8533")        # doctest: +SKIP
+>>> job = client.submit_schedule(request.to_dict())         # doctest: +SKIP
+>>> final = client.wait(job["id"])                          # doctest: +SKIP
+>>> final["result"]["results"][0]["makespan"]               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Blocking convenience wrapper over one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Any:
+        body = None if payload is None else \
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                decoded = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                decoded = {"error": str(exc)}
+            raise ServiceError(exc.code, decoded) from None
+
+    # -- submissions ----------------------------------------------------
+    def submit_schedule(self, request_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /v1/schedule — body is ``ScheduleRequest.to_dict()``."""
+        return self._call("POST", "/v1/schedule", request_dict)
+
+    def submit_scenario(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /v1/scenarios — body is ``ScenarioSpec.to_dict()``."""
+        return self._call("POST", "/v1/scenarios", spec_dict)
+
+    # -- polling --------------------------------------------------------
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """GET /v1/jobs/{id} — status, plus the result once ``done``."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        """GET /v1/jobs — every job id with its current state."""
+        return self._call("GET", "/v1/jobs")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final job view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["status"]["state"] in ("done", "failed", "crashed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['status']['state']!r} "
+                    f"after {timeout:g}s")
+            time.sleep(poll_s)
+
+    # -- streaming ------------------------------------------------------
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """GET /v1/jobs/{id}/events — yields decoded ndjson events.
+
+        The stream ends when the server sends the job's ``end`` event
+        (urllib undoes the chunked transfer encoding transparently).
+        """
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events")
+        with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout) as response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    # -- observability --------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """GET /healthz."""
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """GET /v1/stats."""
+        return self._call("GET", "/v1/stats")
+
+    # -- lifecycle ------------------------------------------------------
+    def shutdown(self) -> Dict[str, Any]:
+        """POST /v1/shutdown — begins the graceful drain."""
+        return self._call("POST", "/v1/shutdown")
