@@ -1,13 +1,14 @@
-"""Execution backends & policies: one batch, three engines, one answer.
+"""Execution backends & policies: one batch, four engines, one answer.
 
 Builds a small request grid and runs it through ``solve_batch`` on the
-``serial``, ``thread`` and ``process`` backends, asserting the results
-are bit-for-bit identical (modulo measured runtime) — then demonstrates
-the per-request ``ExecutionPolicy``: a deliberately slow algorithm is
-cut off by ``timeout_s`` and reported as a structured
+``serial``, ``thread``, ``process`` and ``queue`` backends, asserting
+the results are bit-for-bit identical (modulo measured runtime) — then
+demonstrates the per-request ``ExecutionPolicy``: a deliberately slow
+algorithm is cut off by ``timeout_s`` and reported as a structured
 ``FailureInfo(kind="timeout")`` instead of hanging the sweep. Finally the
 batch is re-run against a ``sqlite://`` result cache to show the second
-pass doing zero solves.
+pass doing zero solves — on the ``queue`` backend the spawned
+``repro worker`` subprocesses share that same cache file.
 
 Run:  python examples/execution_backends.py
 (set REPRO_EXAMPLE_SCALE=10 for a tiny smoke-test corpus, as CI does)
@@ -63,8 +64,11 @@ def main() -> None:
           f"workers=4 -> {route(('daghetpart',), workers=4)}")
 
     # 2. Same batch on every backend; identical results by contract.
+    #    ("queue" spools requests to a temp directory and spawns two
+    #    `repro worker` subprocesses that claim and solve them — the
+    #    same engine would serve workers attached from other machines.)
     reference = None
-    for backend in ("serial", "thread", "process"):
+    for backend in ("serial", "thread", "process", "queue"):
         start = time.perf_counter()
         results = solve_batch(requests, backend=backend, parallel=2)
         elapsed = time.perf_counter() - start
@@ -108,6 +112,22 @@ def main() -> None:
         print(f"\ncache {uri.split('/')[-1]}: first run misses={first['misses']}, "
               f"second run hits={second['hits'] - first['hits']} "
               f"(zero new solves)")
+        assert second["misses"] == first["misses"]
+
+    # 5. Queue workers share one sqlite cache: each spawned worker gets
+    #    the cache URI, checks it before solving and records fresh
+    #    results, so a re-run — by this parent or any other attached to
+    #    the same cache file — costs zero solves.
+    with tempfile.TemporaryDirectory() as tmp:
+        uri = f"sqlite://{tmp}/shared.db"
+        with open_cache(uri) as cache:
+            solve_batch(requests, backend="queue", parallel=2, cache=cache)
+            first = dict(cache.stats())
+            solve_batch(requests, backend="queue", parallel=2, cache=cache)
+            second = dict(cache.stats())
+        print(f"queue + shared cache: first run misses={first['misses']}, "
+              f"second run hits={second['hits'] - first['hits']} "
+              f"(served without re-solving)")
         assert second["misses"] == first["misses"]
 
 

@@ -63,11 +63,13 @@ from repro.api.exec import (
     BACKEND_ENV,
     ExecutionBackend,
     ExecutionPolicy,
+    QueueBackend,
     available_backends,
     create_backend,
     get_backend,
     register_backend,
     route,
+    run_worker,
     solve_with_policy,
     unregister_backend,
 )
@@ -105,6 +107,7 @@ __all__ = [
     "PARALLEL_ENV",
     "PlatformAxis",
     "PortfolioConfig",
+    "QueueBackend",
     "RealWorkflowSource",
     "ResultCache",
     "ScenarioSpec",
@@ -135,6 +138,7 @@ __all__ = [
     "resolve_parallel",
     "route",
     "run_scenario",
+    "run_worker",
     "save_scenario",
     "solve",
     "solve_batch",

@@ -120,8 +120,8 @@ def resolve_parallel(parallel: Optional[int]) -> int:
     return parallel
 
 
-def _lookup(cache, request: ScheduleRequest):
-    """(fingerprint, cached result) for a request; (None, None) when not cacheable.
+def _fingerprint(cache, request: ScheduleRequest) -> Optional[str]:
+    """The request's cache fingerprint, or ``None`` when not cacheable.
 
     The ``cache is None`` fast path must stay first: fingerprinting hashes
     the entire workflow and cluster, and a cache-less run must never pay
@@ -130,9 +130,8 @@ def _lookup(cache, request: ScheduleRequest):
     would silently downgrade the result.
     """
     if cache is None or request.want_mapping:
-        return None, None
-    fingerprint = cache.fingerprint(request)
-    return fingerprint, cache.get(fingerprint, request)
+        return None
+    return cache.fingerprint(request)
 
 
 def _cacheable(result: ScheduleResult) -> bool:
@@ -171,11 +170,16 @@ def iter_solve_batch(requests: Iterable[ScheduleRequest],
     without a ``solve`` call (their ``tags`` are taken from the incoming
     request, not the stored result), and every freshly computed result is
     appended to the cache before being yielded — a crashed sweep resumes
-    where it stopped. Requests with ``want_mapping=True`` bypass the
-    cache, because the live mapping cannot be rehydrated from disk;
-    timed-out results are never cached.
+    where it stopped. Identical requests *within* a run dedupe on every
+    backend: a request whose fingerprint is already in flight waits for
+    the first submission's result instead of solving again (on serial the
+    earlier result is already cached by the time the duplicate is
+    submitted, so parallel backends now honour the same contract).
+    Requests with ``want_mapping=True`` bypass the cache, because the
+    live mapping cannot be rehydrated from disk; timed-out results are
+    never cached.
     """
-    from repro.api.exec.backends import create_backend
+    from repro.api.exec.backends import create_backend, solve_with_policy
     from repro.api.exec.routing import route
 
     it = iter(requests)
@@ -191,21 +195,44 @@ def iter_solve_batch(requests: Iterable[ScheduleRequest],
     else:
         workers = max(workers, 1)
         window = max(int(window or 4 * workers), workers)
+    if cache is not None and hasattr(engine, "set_cache"):
+        # backends whose workers live in other processes (the queue
+        # engine) can share the batch's cache so workers serve repeats
+        # themselves; the parent-side lookup/put below stays authoritative
+        engine.set_cache(cache)
 
     # entries are (index, request, fingerprint, ready result | None,
-    # submission | None); cached hits carry a ready result, submitted
-    # requests a backend handle
+    # submission | None, deferred); cached hits carry a ready result,
+    # submitted requests a backend handle, and a *deferred* entry is a
+    # duplicate of an in-flight fingerprint — it waits for the earlier
+    # identical submission instead of re-running the solve
     pending: deque = deque()
     inflight = 0
+    #: fingerprints with a live submission (within-run dedupe on
+    #: parallel backends: later identical requests defer to the first)
+    inflight_fps: set = set()
 
     def drain_head() -> ScheduleResult:
         nonlocal inflight
-        index, request, fingerprint, result, submission = pending.popleft()
+        index, request, fingerprint, result, submission, deferred = \
+            pending.popleft()
         if submission is not None:
             result = submission.result()
             inflight -= 1
-            if fingerprint is not None and _cacheable(result):
-                cache.put(fingerprint, result)
+            if fingerprint is not None:
+                if _cacheable(result):
+                    cache.put(fingerprint, result)
+                inflight_fps.discard(fingerprint)
+        elif deferred:
+            # the primary sat ahead of this entry in the in-order queue,
+            # so it has drained (and been cached) by now — this is the
+            # same lookup-then-hit a serial run performs, counters and
+            # retagging included
+            result = cache.get(fingerprint, request)
+            if result is None:
+                # the primary's outcome was uncacheable (a timeout);
+                # solve inline, exactly as a serial run would re-run it
+                result = solve_with_policy(request)
         if progress is not None:
             progress(index, request, result)
         return result
@@ -213,17 +240,28 @@ def iter_solve_batch(requests: Iterable[ScheduleRequest],
     engine.open(max(workers, 1))
     try:
         for index, request in enumerate(chain((first,), it)):
-            fingerprint, hit = _lookup(cache, request)
+            fingerprint = _fingerprint(cache, request)
+            hit = None
+            deferred = fingerprint is not None and fingerprint in inflight_fps
+            if fingerprint is not None and not deferred:
+                hit = cache.get(fingerprint, request)
             if hit is not None:
-                pending.append((index, request, fingerprint, hit, None))
+                pending.append((index, request, fingerprint, hit, None,
+                                False))
+            elif deferred:
+                pending.append((index, request, fingerprint, None, None,
+                                True))
             else:
                 pending.append((index, request, fingerprint, None,
-                                engine.submit(request)))
+                                engine.submit(request), False))
                 inflight += 1
-            # drain: ready heads (cache hits, completed submissions)
-            # stream immediately; an unfinished head is only waited on
-            # once the in-flight window (or the pending queue, when cache
-            # hits pile up behind a slow miss) is full
+                if fingerprint is not None:
+                    inflight_fps.add(fingerprint)
+            # drain: ready heads (cache hits, deferred duplicates,
+            # completed submissions) stream immediately; an unfinished
+            # head is only waited on once the in-flight window (or the
+            # pending queue, when cache hits pile up behind a slow miss)
+            # is full
             while pending and (pending[0][4] is None or pending[0][4].done()
                                or inflight >= window
                                or len(pending) >= 4 * window):

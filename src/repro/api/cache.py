@@ -47,6 +47,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from typing import Any, Dict, Optional
 
 from repro.api.envelopes import ScheduleRequest, ScheduleResult
@@ -56,12 +57,28 @@ from repro.api.registry import canonical_name, get_algorithm
 CACHE_FILENAME = "results.jsonl"
 
 
+def _num(value):
+    """Ints and floats render identically in the fingerprint JSON.
+
+    A request that crosses a JSON boundary (the queue backend's spool,
+    the HTTP service) comes back with every numeric weight as a float;
+    without this coercion ``4`` and ``4.0`` would hash differently and a
+    worker could never hit the entry its parent wrote (or vice versa).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
 def _workflow_key(wf) -> Dict[str, Any]:
     """Canonical description of a workflow: name, tasks, weights, edges."""
     return {
         "name": wf.name,
-        "tasks": [[repr(u), wf.work(u), wf.memory(u)] for u in wf.tasks()],
-        "edges": [[repr(u), repr(v), c] for u, v, c in wf.edges()],
+        "tasks": [[repr(u), _num(wf.work(u)), _num(wf.memory(u))]
+                  for u in wf.tasks()],
+        "edges": [[repr(u), repr(v), _num(c)] for u, v, c in wf.edges()],
     }
 
 
@@ -70,11 +87,11 @@ def _cluster_key(cluster) -> Dict[str, Any]:
     model = cluster.bandwidth_model
     model_key: Dict[str, Any] = {"type": type(model).__name__}
     for attr, value in sorted(vars(model).items()):
-        model_key[attr] = value if isinstance(value, (int, float, str)) \
+        model_key[attr] = _num(value) if isinstance(value, (int, float, str)) \
             else repr(value)
     return {
         "name": cluster.name,
-        "processors": [[p.name, p.speed, p.memory, p.kind]
+        "processors": [[p.name, _num(p.speed), _num(p.memory), p.kind]
                        for p in cluster.processors],
         "bandwidth": model_key,
     }
@@ -145,6 +162,11 @@ class CacheBackend:
     def __init__(self):
         self.hits = 0
         self.misses = 0
+        #: serializes every get/put across threads — the service
+        #: dispatcher and the thread execution backend drive one shared
+        #: cache from several threads at once; subclasses reuse it for
+        #: their own entry points (it is reentrant)
+        self._lock = threading.RLock()
 
     @property
     def location(self) -> str:
@@ -177,20 +199,22 @@ class CacheBackend:
         portfolio's winner) is kept, since it describes the computation,
         which is what the fingerprint keys.
         """
-        result = self._read(fingerprint)
-        if result is None:
-            self.misses += 1
-            return None
-        self.hits += 1
+        with self._lock:
+            result = self._read(fingerprint)
+            if result is None:
+                self.misses += 1
+                return None
+            self.hits += 1
         if request is not None:
             result = dataclasses.replace(result, tags=dict(request.tags))
         return result
 
     def put(self, fingerprint: str, result: ScheduleResult) -> None:
         """Record a freshly computed result; duplicates are ignored."""
-        if fingerprint in self:
-            return
-        self._write(fingerprint, result)
+        with self._lock:
+            if fingerprint in self:
+                return
+            self._write(fingerprint, result)
 
     def close(self) -> None:
         pass
@@ -224,6 +248,12 @@ class ResultCache(CacheBackend):
     def __init__(self, directory: str):
         super().__init__()
         self.directory = str(directory)
+        if not self.directory:
+            # os.makedirs("") raises a bare FileNotFoundError; turn the
+            # empty location into an actionable error instead
+            raise ValueError(
+                "ResultCache needs a directory; got an empty location "
+                "(pass a directory path or a jsonl://DIR URI)")
         os.makedirs(self.directory, exist_ok=True)
         self.path = os.path.join(self.directory, CACHE_FILENAME)
         #: fingerprint -> byte offset of its line (payloads stay on disk)
@@ -333,10 +363,20 @@ def open_cache(uri: "str | CacheBackend") -> CacheBackend:
             f"expected a cache URI string or CacheBackend, "
             f"got {type(uri).__name__}")
     if uri.startswith(SQLITE_SCHEME):
+        path = uri[len(SQLITE_SCHEME):]
+        if not path:
+            raise ValueError(
+                f"cache URI {uri!r} has an empty location; expected "
+                f"{SQLITE_SCHEME}PATH.db (e.g. sqlite:///tmp/results.db)")
         from repro.api.cache_sqlite import SqliteResultCache
-        return SqliteResultCache(uri[len(SQLITE_SCHEME):])
+        return SqliteResultCache(path)
     if uri.startswith(JSONL_SCHEME):
-        return ResultCache(uri[len(JSONL_SCHEME):])
+        directory = uri[len(JSONL_SCHEME):]
+        if not directory:
+            raise ValueError(
+                f"cache URI {uri!r} has an empty location; expected "
+                f"{JSONL_SCHEME}DIR (e.g. jsonl://results-cache)")
+        return ResultCache(directory)
     if "://" in uri:
         # a typo'd or unsupported scheme must fail loudly, not become a
         # literal directory named "sqlit://..." caching into the void
@@ -344,6 +384,10 @@ def open_cache(uri: "str | CacheBackend") -> CacheBackend:
         raise ValueError(
             f"unknown cache URI scheme {scheme + '://'!r}; valid: "
             f"{SQLITE_SCHEME!r}, {JSONL_SCHEME!r}, or a plain directory path")
+    if not uri:
+        raise ValueError(
+            "empty cache URI; expected sqlite:///PATH.db, jsonl://DIR, "
+            "or a plain directory path")
     return ResultCache(uri)
 
 

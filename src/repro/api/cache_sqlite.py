@@ -10,9 +10,13 @@ the backend of choice for large sweeps (million-entry caches open in
 constant time) and for sharing one cache file between sequential runs.
 
 Selected by URI through :func:`repro.api.cache.open_cache`:
-``sqlite:///abs/path.db`` or ``sqlite://relative.db``. The single-writer
-contract of the batch façade (results are written from the batch parent,
-not from workers) carries over unchanged.
+``sqlite:///abs/path.db`` or ``sqlite://relative.db``. Unlike the JSONL
+backend, this store is safe for *concurrent* use: every operation on the
+shared connection is serialized through the :class:`CacheBackend` RLock
+(service dispatcher threads, the thread execution backend), and WAL plus
+a generous busy timeout let several *processes* — queue-backend workers
+sharing one zero-solve cache file — read and commit against the same
+database without "database is locked" failures.
 """
 
 from __future__ import annotations
@@ -32,6 +36,11 @@ CREATE TABLE IF NOT EXISTS results (
 )
 """
 
+#: how long a blocked connection waits for another process's commit
+#: before giving up (seconds); applied both as the connect timeout and
+#: as PRAGMA busy_timeout
+_BUSY_TIMEOUT_S = 30.0
+
 
 class SqliteResultCache(CacheBackend):
     """Fingerprint-keyed :class:`ScheduleResult` store in one SQLite file.
@@ -46,18 +55,31 @@ class SqliteResultCache(CacheBackend):
     def __init__(self, path: str):
         super().__init__()
         self.path = str(path)
+        if not self.path:
+            raise ValueError(
+                "SqliteResultCache needs a database path; got an empty "
+                "location (pass a path or a sqlite:///PATH.db URI)")
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        # check_same_thread=False: the thread execution backend may drive
-        # the batch loop from a worker thread; writes still come from one
-        # thread at a time (single-writer contract)
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        # WAL keeps readers unblocked during the per-put commits and
-        # survives crashes without a repair pass
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute(_SCHEMA)
-        self._conn.commit()
+        # check_same_thread=False so the service dispatcher and the
+        # thread/queue execution backends can share one open cache; every
+        # connection use below is serialized through the CacheBackend
+        # RLock — sqlite3 objects are not safe under concurrent
+        # execute/commit even when the module is "serialized" threadsafe
+        self._conn = sqlite3.connect(self.path, check_same_thread=False,
+                                     timeout=_BUSY_TIMEOUT_S)
+        with self._lock:
+            # WAL keeps readers unblocked during the per-put commits and
+            # survives crashes without a repair pass; the busy timeout
+            # makes concurrent *processes* (queue workers sharing one
+            # cache file) wait out each other's commits instead of
+            # raising "database is locked"
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT_S * 1000)}")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
 
     @property
     def location(self) -> str:
@@ -71,13 +93,16 @@ class SqliteResultCache(CacheBackend):
         round-trip per put instead of two (a million-request sweep saves
         a million SELECTs).
         """
-        self._write(fingerprint, result)
+        with self._lock:
+            self._write(fingerprint, result)
 
-    # -- storage hooks --------------------------------------------------
+    # -- storage hooks (callers hold self._lock via get/put; the direct
+    # entry points below take it themselves — it is reentrant) ----------
     def _read(self, fingerprint: str) -> Optional[ScheduleResult]:
-        row = self._conn.execute(
-            "SELECT result FROM results WHERE fp = ?", (fingerprint,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM results WHERE fp = ?", (fingerprint,)
+            ).fetchone()
         if row is None:
             return None
         try:
@@ -89,20 +114,25 @@ class SqliteResultCache(CacheBackend):
     def _write(self, fingerprint: str, result: ScheduleResult) -> None:
         # committed per put: a crash between puts loses at most nothing,
         # a crash mid-put is rolled back by the journal
-        self._conn.execute(
-            "INSERT OR IGNORE INTO results (fp, result) VALUES (?, ?)",
-            (fingerprint, json.dumps(result.to_dict(), sort_keys=True)))
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO results (fp, result) VALUES (?, ?)",
+                (fingerprint, json.dumps(result.to_dict(), sort_keys=True)))
+            self._conn.commit()
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
 
     def __contains__(self, fingerprint: str) -> bool:
-        return self._conn.execute(
-            "SELECT 1 FROM results WHERE fp = ?", (fingerprint,)
-        ).fetchone() is not None
+        with self._lock:
+            return self._conn.execute(
+                "SELECT 1 FROM results WHERE fp = ?", (fingerprint,)
+            ).fetchone() is not None
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None

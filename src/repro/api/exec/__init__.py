@@ -8,7 +8,11 @@
   protocol, the ``@register_backend`` registry, and the three shipped
   engines (``serial``, ``thread``, ``process``);
 * :mod:`repro.api.exec.routing` — :func:`route`, the capabilities-aware
-  override > ``REPRO_BACKEND`` > metadata dispatcher.
+  override > ``REPRO_BACKEND`` > metadata dispatcher;
+* :mod:`repro.api.exec.queue` / :mod:`repro.api.exec.worker` — the
+  ``queue`` backend: a filesystem spool shared with independent
+  ``repro worker`` processes (atomic-rename claims, heartbeat leases,
+  poison tombstones).
 """
 
 from repro.api.exec.backends import (
@@ -20,13 +24,16 @@ from repro.api.exec.backends import (
     ThreadBackend,
     available_backends,
     create_backend,
+    failure_result,
     get_backend,
     register_backend,
     solve_with_policy,
     unregister_backend,
 )
 from repro.api.exec.policy import ON_TIMEOUT_CHOICES, ExecutionPolicy
-from repro.api.exec.routing import BACKEND_ENV, IO_BOUND_CAPABILITY, route
+from repro.api.exec.queue import QueueBackend, Spool  # noqa: F401  (registers)
+from repro.api.exec.routing import BACKEND_ENV, IO_BOUND_CAPABILITY, NESTED_ENV, route
+from repro.api.exec.worker import run_worker
 
 __all__ = [
     "BACKEND_ENV",
@@ -34,16 +41,21 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionPolicy",
     "IO_BOUND_CAPABILITY",
+    "NESTED_ENV",
     "ON_TIMEOUT_CHOICES",
     "ProcessBackend",
+    "QueueBackend",
     "SerialBackend",
+    "Spool",
     "Submission",
     "ThreadBackend",
     "available_backends",
     "create_backend",
+    "failure_result",
     "get_backend",
     "register_backend",
     "route",
+    "run_worker",
     "solve_with_policy",
     "unregister_backend",
 ]

@@ -49,15 +49,16 @@ from repro.api.registry import canonical_name, get_algorithm
 # ----------------------------------------------------------------------
 # Policy enforcement (shared by every backend)
 # ----------------------------------------------------------------------
-def _timeout_result(request: ScheduleRequest, timeout_s: float,
-                    elapsed: float) -> ScheduleResult:
-    """The structured envelope of a timed-out attempt.
+def failure_result(request: ScheduleRequest, kind: str, message: str,
+                   elapsed: float = 0.0) -> ScheduleResult:
+    """A structured failure envelope for an execution-layer outcome.
 
     The cluster is resolved exactly as ``solve`` resolves it (memory
-    scaling applied), so a timed-out record aligns with every other
-    outcome of the same request — ``scenario diff`` matches them by
-    cluster name. ``makespan=inf`` like any other failure; identical on
-    every backend by construction.
+    scaling applied), so the record aligns with every other outcome of
+    the same request — ``scenario diff`` matches them by cluster name.
+    ``makespan=inf`` like any other failure; identical on every backend
+    by construction. Used for timeouts and for the queue backend's
+    poison-request tombstones.
     """
     info = get_algorithm(request.algorithm)
     cluster = request.cluster
@@ -73,11 +74,17 @@ def _timeout_result(request: ScheduleRequest, timeout_s: float,
         makespan=float("inf"),
         runtime=elapsed,
         n_blocks=0,
-        failure=FailureInfo(
-            kind="timeout",
-            message=f"scheduling exceeded timeout_s={timeout_s:g}"),
+        failure=FailureInfo(kind=kind, message=message),
         tags=dict(request.tags),
     )
+
+
+def _timeout_result(request: ScheduleRequest, timeout_s: float,
+                    elapsed: float) -> ScheduleResult:
+    """The structured envelope of a timed-out attempt."""
+    return failure_result(request, "timeout",
+                          f"scheduling exceeded timeout_s={timeout_s:g}",
+                          elapsed)
 
 
 def _attempt(request: ScheduleRequest,

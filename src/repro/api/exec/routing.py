@@ -42,6 +42,11 @@ from repro.api.registry import get_algorithm
 #: capability rules
 BACKEND_ENV = "REPRO_BACKEND"
 
+#: set (to any non-empty value) in queue-backend worker processes:
+#: nested batches there must run serial — a worker that re-routed to
+#: ``queue`` would spool into a brand-new queue and spawn grandchildren
+NESTED_ENV = "REPRO_EXEC_NESTED"
+
 #: algorithm capability that routes a parallel batch onto threads
 IO_BOUND_CAPABILITY = "io-bound"
 
@@ -60,7 +65,8 @@ def route(algorithms: Iterable[str] = (), *,
     if backend is not None:
         return get_backend(backend).name
     nested = (multiprocessing.current_process().daemon
-              or threading.current_thread().name.startswith("repro-exec"))
+              or threading.current_thread().name.startswith("repro-exec")
+              or bool(os.environ.get(NESTED_ENV)))
     env = os.environ.get(BACKEND_ENV, "").strip()
     if env:
         name = get_backend(env).name  # validate even when overridden below

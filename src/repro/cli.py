@@ -31,6 +31,13 @@ Commands
                 store, live stats, graceful drain); ``--loadtest`` runs
                 the burst benchmark and gates against
                 ``BENCH_service.json`` (``--check``);
+``worker``      attach a work-queue worker to a spool directory: claim
+                requests spooled by the ``queue`` execution backend
+                (atomic rename), solve them under their policies, land
+                results in ``done/``, heartbeat a lease so a killed
+                worker's claims are re-enqueued; run any number of these
+                — on any machine sharing the filesystem — against one
+                spool, optionally sharing one ``sqlite://`` result cache;
 ``cache``       result-cache utilities (``cache stats URI`` prints kind,
                 location, and entry count — the same accessor the
                 service's ``/v1/stats`` uses);
@@ -615,6 +622,25 @@ def _serve_loadtest(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """``repro worker``: serve a queue-backend spool until stopped."""
+    import os
+
+    from repro.api.exec import NESTED_ENV, run_worker
+
+    # a batch issued *inside* a worker (portfolio-style algorithms that
+    # call solve_batch) must run serial, not spool into a new queue or
+    # fork pools from a process that is already one worker of many
+    os.environ[NESTED_ENV] = "1"
+    print(f"worker    : attaching to {args.spool}", file=sys.stderr)
+    completed = run_worker(
+        args.spool, worker_id=args.id, poll_s=args.poll, cache=args.cache,
+        lease_timeout_s=args.lease, max_idle_s=args.max_idle, once=args.once)
+    print(f"worker    : done ({completed} request(s) completed)",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_cache_stats(args) -> int:
     """``repro cache stats``: describe a result cache by URI."""
     from repro.api import describe_cache
@@ -697,13 +723,17 @@ def build_parser() -> argparse.ArgumentParser:
     ssub = p.add_subparsers(dest="scenario_command", required=True)
     pr = ssub.add_parser("run", help="run a ScenarioSpec JSON file")
     pr.add_argument("spec", help="path to the scenario spec (.json)")
-    pr.add_argument("-j", "--parallel", type=int, default=None, metavar="N",
+    pr.add_argument("-j", "--parallel", "--workers", type=int, default=None,
+                    metavar="N",
                     help="fan requests out over N workers "
                          "(-1 = all CPUs; default: $REPRO_PARALLEL or serial)")
     pr.add_argument("--backend", choices=sorted(available_backends()),
                     default=None,
                     help="execution backend (default: routed from worker "
-                         "count, $REPRO_BACKEND, and algorithm metadata)")
+                         "count, $REPRO_BACKEND, and algorithm metadata); "
+                         "'queue' spools through a shared directory served "
+                         "by N spawned (or external `repro worker`) "
+                         "processes")
     pr.add_argument("--timeout", type=float, default=None, metavar="S",
                     help="per-request wall-clock budget; exceeded requests "
                          "report FailureInfo(kind='timeout')")
@@ -829,6 +859,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fraction of the baseline efficiency "
                         "(default 0.5)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve a queue-backend spool directory (claim, solve, land)")
+    p.add_argument("spool", help="spool directory shared with the parent "
+                                 "(its REPRO_QUEUE_DIR)")
+    p.add_argument("--id", default=None, metavar="NAME",
+                   help="worker id (default: derived from pid); claims live "
+                        "under claimed/NAME/ and the lease is NAME.lease")
+    p.add_argument("--cache", metavar="URI", default=None,
+                   help="shared result cache (sqlite:///path.db — the only "
+                        "multi-process-safe kind); checked before solving, "
+                        "fresh results recorded after")
+    p.add_argument("--lease", type=float, default=None, metavar="S",
+                   help="lease interval the parent judges liveness by "
+                        "(heartbeats run at a quarter of it; default 15)")
+    p.add_argument("--poll", type=float, default=0.1, metavar="S",
+                   help="sleep between claim attempts when the spool is "
+                        "empty (default 0.1)")
+    p.add_argument("--max-idle", type=float, default=None, metavar="S",
+                   help="exit after this long without a claim "
+                        "(default: wait for the stop marker)")
+    p.add_argument("--once", action="store_true",
+                   help="exit after completing a single request")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("cache", help="result-cache utilities")
     csub = p.add_subparsers(dest="cache_command", required=True)

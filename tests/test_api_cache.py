@@ -358,3 +358,103 @@ class TestOpenCacheUri:
             with pytest.raises(ValueError, match="unknown cache URI scheme"):
                 open_cache(uri)
         assert not (tmp_path / "sqlit:").exists()
+
+    def test_empty_locations_fail_with_clear_value_errors(self):
+        """``open_cache("jsonl://")`` used to crash with a bare
+        ``FileNotFoundError`` out of ``os.makedirs("")`` — empty
+        locations must name the offending URI instead."""
+        from repro.api import open_cache
+        with pytest.raises(ValueError, match="jsonl://"):
+            open_cache("jsonl://")
+        with pytest.raises(ValueError, match="sqlite://"):
+            open_cache("sqlite://")
+        with pytest.raises(ValueError, match="empty"):
+            open_cache("")
+        with pytest.raises(ValueError, match="directory"):
+            ResultCache("")
+        from repro.api.cache_sqlite import SqliteResultCache
+        with pytest.raises(ValueError, match="path"):
+            SqliteResultCache("")
+
+
+class TestFingerprintRoundTrip:
+    def test_fingerprint_survives_json_round_trip(self):
+        """A request that crosses a JSON boundary (queue spool, HTTP
+        service) must keep its fingerprint: integer weights come back as
+        floats, and ``4`` vs ``4.0`` must not hash differently — else a
+        queue worker can never hit the cache entry its parent wrote."""
+        request = _request()
+        rebuilt = ScheduleRequest.from_dict(request.to_dict())
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+    def test_int_and_float_weights_fingerprint_identically(self):
+        from repro.platform.cluster import Cluster, Processor
+        ints = Cluster(name="c", processors=(
+            Processor(name="p0", speed=4, memory=16, kind="local"),
+            Processor(name="p1", speed=2, memory=8, kind="local")))
+        floats = Cluster(name="c", processors=(
+            Processor(name="p0", speed=4.0, memory=16.0, kind="local"),
+            Processor(name="p1", speed=2.0, memory=8.0, kind="local")))
+        assert request_fingerprint(_request(cluster=ints)) == \
+            request_fingerprint(_request(cluster=floats))
+
+
+class TestSqliteThreadSafety:
+    def test_concurrent_get_put_hammer(self, tmp_path):
+        """One shared connection driven from many threads (the service
+        dispatcher pattern) must serialize cleanly: no sqlite3 errors, no
+        lost entries, counters that add up."""
+        import threading
+
+        from repro.api.cache_sqlite import SqliteResultCache
+
+        request = _request()
+        result = solve(request)
+        cache = SqliteResultCache(str(tmp_path / "hammer.db"))
+        errors = []
+        n_threads, n_ops = 8, 40
+
+        def hammer(tid):
+            try:
+                for i in range(n_ops):
+                    fp = f"fp-{tid}-{i}"
+                    cache.put(fp, result)
+                    assert cache.get(fp, request) is not None
+                    cache.put(fp, result)  # duplicate put must dedupe
+                    len(cache)
+                    assert fp in cache
+                    assert f"missing-{tid}-{i}" not in cache
+                    assert cache.get(f"missing-{tid}-{i}", request) is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert errors == []
+        assert len(cache) == n_threads * n_ops
+        stats = cache.stats()
+        assert stats["hits"] == n_threads * n_ops
+        assert stats["misses"] == n_threads * n_ops
+        cache.close()
+
+    def test_two_connections_share_one_database(self, tmp_path):
+        """Two independent opens of the same file (two queue workers, or
+        worker + parent) see each other's committed puts — WAL + busy
+        timeout make the file itself the coordination point."""
+        from repro.api.cache_sqlite import SqliteResultCache
+
+        request = _request()
+        result = solve(request)
+        a = SqliteResultCache(str(tmp_path / "shared.db"))
+        b = SqliteResultCache(str(tmp_path / "shared.db"))
+        a.put("fp-from-a", result)
+        assert b.get("fp-from-a", request) is not None
+        b.put("fp-from-b", result)
+        assert a.get("fp-from-b", request) is not None
+        assert len(a) == len(b) == 2
+        a.close()
+        b.close()

@@ -524,3 +524,95 @@ class TestBackendEquivalence:
         result = submission.result()
         assert submission.done() and result.success
         backend.close()
+
+
+# ----------------------------------------------------------------------
+# Within-run dedupe: duplicate requests solve once on parallel backends
+# ----------------------------------------------------------------------
+@pytest.fixture
+def counting_algorithm(tmp_path):
+    """Counts its solve calls through the filesystem (visible across
+    forked process workers) before delegating to daghetmem."""
+    counter = tmp_path / "solves"
+    counter.write_text("")
+
+    @register_algorithm("counting", summary="counts solves (dedupe tests)")
+    def counting(workflow, cluster, config=None):
+        with open(counter, "a") as fh:  # single-byte O_APPEND: atomic
+            fh.write("x")
+        time.sleep(0.05)  # keep the primary in flight while dupes arrive
+        return get_algorithm("daghetmem").scheduler.run(workflow, cluster)
+
+    yield "counting", counter
+    unregister_algorithm("counting")
+
+
+class TestWithinRunDedup:
+    def _duplicated_requests(self, algorithm):
+        wf_a = generate_workflow("blast", 24, seed=1)
+        wf_b = generate_workflow("bwa", 24, seed=2)
+        dup = _request(workflow=wf_a, algorithm=algorithm, config=None)
+        other = _request(workflow=wf_b, algorithm=algorithm, config=None)
+        # three copies of one computation interleaved with a second one
+        return [dup, dup, other, dup]
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_duplicates_solve_once_with_a_cache(self, backend, tmp_path,
+                                                counting_algorithm):
+        from repro.api import open_cache
+        name, counter = counting_algorithm
+        requests = self._duplicated_requests(name)
+        with open_cache(f"sqlite://{tmp_path}/dedupe.db") as cache:
+            results = solve_batch(requests, backend=backend, parallel=4,
+                                  cache=cache)
+            stats = cache.stats()
+        assert all(r.success for r in results)
+        # the bug: every duplicate used to submit its own solve because
+        # the cache was only consulted at submit time, before the first
+        # copy's result had landed
+        assert len(counter.read_text()) == 2  # one per unique computation
+        assert stats["misses"] == 2 and stats["hits"] == 2
+
+    def test_parallel_counters_match_serial(self, tmp_path,
+                                            counting_algorithm):
+        """The dedupe path must count exactly like a serial run: one miss
+        per unique computation, one hit per duplicate."""
+        from repro.api import open_cache
+        name, counter = counting_algorithm
+        requests = self._duplicated_requests(name)
+        with open_cache(f"sqlite://{tmp_path}/serial.db") as serial_cache:
+            serial = solve_batch(requests, backend="serial",
+                                 cache=serial_cache)
+            serial_stats = serial_cache.stats()
+        counter.write_text("")
+        with open_cache(f"sqlite://{tmp_path}/thread.db") as thread_cache:
+            threaded = solve_batch(requests, backend="thread", parallel=4,
+                                   cache=thread_cache)
+            thread_stats = thread_cache.stats()
+        assert [_strip(r) for r in threaded] == [_strip(r) for r in serial]
+        for key in ("hits", "misses", "entries"):
+            assert thread_stats[key] == serial_stats[key]
+
+    def test_duplicates_of_a_timed_out_primary_resolve_inline(
+            self, tmp_path, slow_algorithm):
+        """A timeout is never cached, so a deferred duplicate finds no
+        entry at drain time — it must re-solve inline (matching serial
+        semantics) instead of yielding None or hanging."""
+        from repro.api import open_cache
+        request = _request(algorithm=slow_algorithm, config=None,
+                           scale_memory=False,
+                           policy=ExecutionPolicy(timeout_s=0.2))
+        with open_cache(f"sqlite://{tmp_path}/t.db") as cache:
+            results = solve_batch([request, request], backend="thread",
+                                  parallel=2, cache=cache)
+            assert len(cache) == 0
+        assert [r.failure.kind for r in results] == ["timeout", "timeout"]
+
+    def test_no_dedupe_without_a_cache(self, counting_algorithm):
+        """Without a cache there is no fingerprinting (the cache-less
+        fast path must stay zero-overhead), so duplicates each solve."""
+        name, counter = counting_algorithm
+        requests = self._duplicated_requests(name)
+        results = solve_batch(requests, backend="thread", parallel=4)
+        assert all(r.success for r in results)
+        assert len(counter.read_text()) == 4
