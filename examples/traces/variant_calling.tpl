@@ -1,0 +1,29 @@
+# A per-sample variant-calling pipeline: the same align/call chain is
+# stamped out for every sample in the data file, then joint-genotyped.
+name: variant-calling-{{cohort}}
+tasks:
+  - id: ref_index
+    work: 5
+    memory: 4
+{% for s in samples %}
+  - id: align_{{s.id}}
+    work: {{s.reads}}
+    memory: 8
+    after: ref_index
+    cost: 1.5
+  - id: dedup_{{s.id}}
+    work: 2
+    memory: 4
+    after: align_{{s.id}}
+  - id: call_{{s.id}}
+    work: {{s.depth}}
+    memory: 6
+    after: dedup_{{s.id}}
+    before: joint_genotype
+{% endfor %}
+  - id: joint_genotype
+    work: 12
+    memory: 16
+  - id: report
+    work: 1
+    after: joint_genotype

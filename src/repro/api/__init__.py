@@ -81,6 +81,7 @@ from repro.api.scenario import (
     PlatformAxis,
     RealWorkflowSource,
     ScenarioSpec,
+    TemplateWorkflowSource,
     collect_scenario,
     expand,
     load_scenario,
@@ -116,6 +117,7 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResult",
     "SweepPoint",
+    "TemplateWorkflowSource",
     "algorithm_infos",
     "available_algorithms",
     "available_backends",

@@ -191,13 +191,34 @@ class RealWorkflowSource:
                 "seed": self.seed, "work_factor": self.work_factor}
 
 
+def _checked(wf, checksum: Optional[str], path: str):
+    """Enforce a pinned content hash on an ingested workflow."""
+    if checksum:
+        from repro.ingest import workflow_fingerprint
+
+        actual = workflow_fingerprint(wf)
+        if actual != checksum:
+            raise ValueError(
+                f"{path}: workflow checksum mismatch — expected {checksum}, "
+                f"ingested {actual} (the file changed since it was pinned)")
+    return wf
+
+
 @dataclass(frozen=True)
 class FileWorkflowSource:
-    """One workflow loaded from a ``.json`` or ``.dot`` file."""
+    """One workflow ingested from a file in any registered format.
+
+    ``format=None`` sniffs the content (see
+    :func:`repro.ingest.detect_format`); ``checksum`` pins the ingested
+    workflow's :func:`~repro.ingest.workflow_fingerprint`, so a silently
+    edited trace fails the run instead of poisoning a cached sweep.
+    """
 
     kind = "file"
 
     path: str = ""
+    format: Optional[str] = None
+    checksum: Optional[str] = None
     category: str = "file"
     family: Optional[str] = None  # defaults to the loaded workflow's name
 
@@ -210,26 +231,95 @@ class FileWorkflowSource:
 
     def instances(self) -> Iterator["Instance"]:
         from repro.experiments.instances import Instance
-        from repro.workflow.io import load_workflow_json, workflow_from_dot
+        from repro.ingest import ingest_path
 
-        if self.path.endswith(".dot"):
-            with open(self.path) as fh:
-                wf = workflow_from_dot(fh.read(), name=self.path)
-        else:
-            wf = load_workflow_json(self.path)
+        wf = _checked(ingest_path(self.path, fmt=self.format),
+                      self.checksum, self.path)
         yield Instance(name=wf.name, family=self.family or wf.name,
                        category=self.category, n_tasks_requested=wf.n_tasks,
                        workflow=wf)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"kind": self.kind, "path": self.path,
-                "category": self.category, "family": self.family}
+        return {"kind": self.kind, "path": self.path, "format": self.format,
+                "checksum": self.checksum, "category": self.category,
+                "family": self.family}
 
 
-WorkflowSource = Union[FamilyGridSource, RealWorkflowSource, FileWorkflowSource]
+def _plain(value: Any) -> Any:
+    """Recursively undo ``_tupled``: template data must stay plain JSON."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, TMapping):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class TemplateWorkflowSource:
+    """A workflow template rendered against data, then ingested.
+
+    ``data`` is the inline substitution mapping; ``data_path`` loads it
+    from a JSON file instead (exactly one may be given when the template
+    uses variables). ``checksum`` pins the rendered workflow's content
+    hash, same as :class:`FileWorkflowSource`.
+    """
+
+    kind = "template"
+
+    path: str = ""
+    data: Optional[Dict[str, Any]] = None
+    data_path: Optional[str] = None
+    name: Optional[str] = None
+    checksum: Optional[str] = None
+    category: str = "template"
+    family: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("TemplateWorkflowSource needs a path")
+        if self.data is not None and self.data_path is not None:
+            raise ValueError("give either data or data_path, not both")
+        if self.data is not None:
+            object.__setattr__(self, "data", _plain(self.data))
+
+    def count(self) -> int:
+        return 1
+
+    def _resolved_data(self) -> Dict[str, Any]:
+        if self.data_path is not None:
+            with open(self.data_path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if not isinstance(loaded, dict):
+                raise ValueError(
+                    f"{self.data_path}: template data must be a JSON object")
+            return loaded
+        return self.data or {}
+
+    def instances(self) -> Iterator["Instance"]:
+        from repro.experiments.instances import Instance
+        from repro.ingest import ingest_path
+
+        wf = _checked(
+            ingest_path(self.path, fmt="template", name=self.name,
+                        data=self._resolved_data()),
+            self.checksum, self.path)
+        yield Instance(name=wf.name, family=self.family or wf.name,
+                       category=self.category, n_tasks_requested=wf.n_tasks,
+                       workflow=wf)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "path": self.path, "data": self.data,
+                "data_path": self.data_path, "name": self.name,
+                "checksum": self.checksum, "category": self.category,
+                "family": self.family}
+
+
+WorkflowSource = Union[FamilyGridSource, RealWorkflowSource,
+                       FileWorkflowSource, TemplateWorkflowSource]
 
 _SOURCE_KINDS = {cls.kind: cls for cls in
-                 (FamilyGridSource, RealWorkflowSource, FileWorkflowSource)}
+                 (FamilyGridSource, RealWorkflowSource, FileWorkflowSource,
+                  TemplateWorkflowSource)}
 
 
 def source_from_dict(data: TMapping[str, Any]) -> WorkflowSource:

@@ -4,6 +4,12 @@ Commands
 --------
 ``generate``    build a workflow (family generator or real-world model)
                 and write it to JSON/DOT;
+``ingest``      import an external workflow description — WfCommons
+                JSON, Pegasus DAX, GraphViz DOT, edge-list/CSV, workflow
+                templates, or canonical JSON — through the shared
+                detect → import → normalize gate; ``--stats`` prints the
+                structural profile, ``--validate`` just checks (exit 1
+                on errors), ``-o`` writes canonical JSON;
 ``schedule``    map a workflow onto a cluster with DagHetMem/DagHetPart,
                 print the mapping summary, optionally a Gantt chart or a
                 JSON schedule;
@@ -71,12 +77,7 @@ from repro.experiments.report import format_table
 from repro.generators.families import WORKFLOW_FAMILIES, generate_workflow
 from repro.generators.realworld import REAL_WORKFLOW_NAMES, generate_real_workflow
 from repro.platform.presets import CLUSTER_PRESETS, cluster_by_name
-from repro.workflow.io import (
-    load_workflow_json,
-    save_workflow_json,
-    workflow_from_dot,
-    workflow_to_dot,
-)
+from repro.workflow.io import save_workflow_json, workflow_to_dot
 
 #: experiment name -> driver (drivers that need no extra arguments)
 EXPERIMENTS = {
@@ -123,11 +124,13 @@ def _cli_config(algorithm: str, k_strategy: str):
 
 def _load_workflow(args) -> "Workflow":
     if args.workflow:
-        path = args.workflow
-        if path.endswith(".dot"):
-            with open(path) as fh:
-                return workflow_from_dot(fh.read(), name=path)
-        return load_workflow_json(path)
+        from repro.ingest import ingest_path
+        from repro.utils.errors import IngestError
+
+        try:
+            return ingest_path(args.workflow)
+        except IngestError as exc:
+            raise SystemExit(f"error: {exc}")
     if args.family in REAL_WORKFLOW_NAMES:
         return generate_real_workflow(args.family, seed=args.seed)
     if args.family not in WORKFLOW_FAMILIES:
@@ -656,6 +659,69 @@ def cmd_cache_stats(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """``repro ingest``: import an external workflow description."""
+    from repro.ingest import (
+        NormalizeOptions,
+        detect_format,
+        get_format,
+        ingest_text,
+        workflow_fingerprint,
+        workflow_stats,
+    )
+    from repro.utils.errors import IngestError
+
+    data = None
+    if args.data:
+        try:
+            with open(args.data, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read data file {args.data}: {exc}",
+                  file=sys.stderr)
+            return 1
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        info = (get_format(args.format) if args.format
+                else detect_format(text, path=args.path))
+        options = NormalizeOptions(work_scale=args.work_scale,
+                                   cost_scale=args.cost_scale,
+                                   memory_scale=args.memory_scale)
+        wf = ingest_text(text, fmt=info.name, name=args.name,
+                         path=args.path, data=data, options=options)
+    except (IngestError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        print(f"OK: {args.path} ({info.name}, {wf.n_tasks} tasks, "
+              f"{wf.n_edges} edges)")
+        return 0
+    if args.stats:
+        rows = workflow_stats(wf)
+        rows["format"] = info.name
+        rows["fingerprint"] = workflow_fingerprint(wf)
+        width = max(len(k) for k in rows)
+        for key, value in rows.items():
+            shown = f"{value:g}" if isinstance(value, float) else value
+            print(f"{key:<{width}} : {shown}")
+        return 0
+    if args.output:
+        save_workflow_json(wf, args.output)
+        print(f"{args.output}: {wf.name} ({info.name}, {wf.n_tasks} tasks, "
+              f"{wf.n_edges} edges)")
+        return 0
+    print(f"{wf.name}: format={info.name} tasks={wf.n_tasks} "
+          f"edges={wf.n_edges} fingerprint={workflow_fingerprint(wf)}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """``repro info``: print presets and corpus configuration."""
     rows2 = figures.table2()["rows"]
@@ -892,6 +958,32 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("uri", help="sqlite:///path.db, jsonl://DIR, or a "
                                 "directory")
     pc.set_defaults(func=cmd_cache_stats)
+
+    p = sub.add_parser(
+        "ingest",
+        help="import an external workflow description (wfcommons, dax, "
+             "dot, edgelist, template, json)")
+    p.add_argument("path", help="workflow description file")
+    p.add_argument("--format", default=None,
+                   help="force a registered format instead of sniffing")
+    p.add_argument("--data", default=None, metavar="JSON",
+                   help="JSON data file for template expansion")
+    p.add_argument("--name", default=None,
+                   help="override the ingested workflow's name")
+    p.add_argument("--work-scale", type=float, default=1.0,
+                   help="multiply task work by this factor")
+    p.add_argument("--cost-scale", type=float, default=1.0,
+                   help="multiply edge costs by this factor (e.g. bytes "
+                        "to abstract units)")
+    p.add_argument("--memory-scale", type=float, default=1.0,
+                   help="multiply task memory by this factor")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the validated workflow as canonical JSON")
+    p.add_argument("--stats", action="store_true",
+                   help="print structural statistics instead of a summary")
+    p.add_argument("--validate", action="store_true",
+                   help="only check the file; exit 1 on any ingest error")
+    p.set_defaults(func=cmd_ingest)
 
     p = sub.add_parser("info", help="show presets and corpus configuration")
     p.set_defaults(func=cmd_info)

@@ -1,0 +1,60 @@
+"""Pluggable ingestion of real workflow descriptions.
+
+The paper evaluates its partitioners on real scientific workflows
+(nextflow pipelines, Pegasus benchmarks); this package is the seam those
+workflows enter through. It mirrors the registry idiom used for
+algorithms, backends, and policies: importers self-register under a
+format name, ``detect_format`` sniffs content before trusting
+extensions, and everything funnels through one normalization/validation
+gate so a workflow is either fully checked or loudly rejected.
+
+Shipped formats: ``wfcommons`` (WfCommons/wfformat JSON traces),
+``dax`` (Pegasus DAX XML), ``dot`` (GraphViz/nextflow digraphs),
+``edgelist`` (CSV-ish edge lists), ``template`` (jetstream-style
+``{{var}}``/``{% for %}`` task lists), and ``json`` (the library's own
+canonical serialization).
+
+Typical use::
+
+    from repro.ingest import ingest_path
+    wf = ingest_path("examples/traces/epigenomics.wfformat.json")
+"""
+
+from repro.ingest.load import ingest_path, ingest_text
+from repro.ingest.normalize import (DEFAULT_OPTIONS, NormalizeOptions,
+                                    WorkflowAssembler, normalize_workflow,
+                                    workflow_fingerprint, workflow_stats)
+from repro.ingest.registry import (available_formats, canonical_format,
+                                   detect_format, format_infos, get_format,
+                                   register_format, unregister_format)
+from repro.ingest.templates import (build_from_document, parse_structured,
+                                    render_template)
+
+# importing the format modules registers them
+from repro.ingest import canonical as _canonical  # noqa: F401
+from repro.ingest import dax as _dax  # noqa: F401
+from repro.ingest import dot as _dot  # noqa: F401
+from repro.ingest import edgelist as _edgelist  # noqa: F401
+from repro.ingest import templates as _templates  # noqa: F401
+from repro.ingest import wfcommons as _wfcommons  # noqa: F401
+
+__all__ = [
+    "ingest_path",
+    "ingest_text",
+    "detect_format",
+    "get_format",
+    "register_format",
+    "unregister_format",
+    "available_formats",
+    "format_infos",
+    "canonical_format",
+    "NormalizeOptions",
+    "DEFAULT_OPTIONS",
+    "WorkflowAssembler",
+    "normalize_workflow",
+    "workflow_stats",
+    "workflow_fingerprint",
+    "render_template",
+    "parse_structured",
+    "build_from_document",
+]

@@ -13,6 +13,29 @@ class ReproError(Exception):
     """Base class for all library-specific errors."""
 
 
+class IngestError(ReproError):
+    """Raised when an external workflow description cannot be imported.
+
+    Carries the offending file and (when known) line so the message points
+    at the exact spot — ``traces/bad.dot:17: unparsable statement`` — instead
+    of silently producing an empty or half-loaded workflow.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line: int | None = None):
+        self.path = path
+        self.line = line
+        prefix = ""
+        if path is not None:
+            prefix = str(path)
+            if line is not None:
+                prefix += f":{line}"
+            prefix += ": "
+        elif line is not None:
+            prefix = f"line {line}: "
+        super().__init__(prefix + message)
+
+
 class CyclicWorkflowError(ReproError):
     """Raised when an input graph that must be a DAG contains a cycle."""
 

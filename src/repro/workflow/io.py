@@ -1,17 +1,21 @@
 """Workflow serialization: JSON (canonical) and GraphViz DOT (interop).
 
-The paper converts nextflow pipelines to ``.dot`` via ``-with-dag``; the DOT
-reader here accepts that flavour (plain ``a -> b`` statements with optional
-attribute lists) so externally exported workflows can be loaded directly.
+The paper converts nextflow pipelines to ``.dot`` via ``-with-dag``; the
+DOT reader lives in :mod:`repro.ingest.dot` these days (hardened:
+quoted identifiers, comments, loud errors) — :func:`workflow_from_dot`
+remains here as the stable convenience wrapper. Deserialization routes
+through the shared :class:`~repro.ingest.normalize.WorkflowAssembler`,
+so duplicate task ids and edges referencing unknown tasks fail with the
+offender named instead of being silently absorbed.
 """
 
 from __future__ import annotations
 
 import json
-import re
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
+from repro.utils.errors import IngestError
 from repro.workflow.graph import Workflow
 
 PathLike = Union[str, Path]
@@ -32,14 +36,34 @@ def workflow_to_dict(wf: Workflow) -> Dict[str, Any]:
     }
 
 
-def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
-    """Inverse of :func:`workflow_to_dict`."""
-    wf = Workflow(data.get("name", "workflow"))
+def workflow_from_dict(data: Dict[str, Any],
+                       *, path: Optional[str] = None) -> Workflow:
+    """Inverse of :func:`workflow_to_dict`.
+
+    Validates while building: a duplicate task id or an edge referencing
+    an undeclared task raises :class:`~repro.utils.errors.IngestError`
+    naming the offender (and ``path``, when given) instead of silently
+    overwriting or conjuring the missing endpoint. Task ids are kept
+    as-is (no interning) so round-trips preserve scalar ids; the full
+    normalization gate is the ingest pipeline's job.
+    """
+    from repro.ingest.normalize import WorkflowAssembler
+
+    if not isinstance(data, dict) or "tasks" not in data:
+        raise IngestError("workflow dict needs a 'tasks' list", path=path)
+    asm = WorkflowAssembler(data.get("name", "workflow"), path=path)
     for t in data["tasks"]:
-        wf.add_task(t["id"], t.get("work", 1.0), t.get("memory", 0.0))
-    for e in data["edges"]:
-        wf.add_edge(e["source"], e["target"], e.get("cost", 0.0))
-    return wf
+        if not isinstance(t, dict) or "id" not in t:
+            raise IngestError(
+                f"every task needs an 'id' field, got {t!r}", path=path)
+        asm.add_task(t["id"], t.get("work", 1.0), t.get("memory", 0.0))
+    for e in data.get("edges") or []:
+        if not isinstance(e, dict) or "source" not in e or "target" not in e:
+            raise IngestError(
+                f"every edge needs 'source' and 'target' fields, got {e!r}",
+                path=path)
+        asm.add_edge(e["source"], e["target"], e.get("cost", 0.0))
+    return asm.finish()
 
 
 def save_workflow_json(wf: Workflow, path: PathLike) -> None:
@@ -49,7 +73,8 @@ def save_workflow_json(wf: Workflow, path: PathLike) -> None:
 
 def load_workflow_json(path: PathLike) -> Workflow:
     """Read a workflow previously saved with :func:`save_workflow_json`."""
-    return workflow_from_dict(json.loads(Path(path).read_text()))
+    return workflow_from_dict(json.loads(Path(path).read_text()),
+                              path=str(path))
 
 
 def workflow_to_dot(wf: Workflow) -> str:
@@ -63,55 +88,22 @@ def workflow_to_dot(wf: Workflow) -> str:
     return "\n".join(lines)
 
 
-_NODE_RE = re.compile(r'^\s*"?([\w./:-]+)"?\s*(?:\[(.*)\])?\s*;?\s*$')
-_EDGE_RE = re.compile(r'^\s*"?([\w./:-]+)"?\s*->\s*"?([\w./:-]+)"?\s*(?:\[(.*)\])?\s*;?\s*$')
-
-
-def _parse_attrs(text: str) -> Dict[str, float]:
-    attrs: Dict[str, float] = {}
-    if not text:
-        return attrs
-    for part in text.split(","):
-        if "=" not in part:
-            continue
-        key, value = part.split("=", 1)
-        try:
-            attrs[key.strip().strip('"')] = float(value.strip().strip('"'))
-        except ValueError:
-            continue
-    return attrs
-
-
 def workflow_from_dot(text: str, name: str = "workflow") -> Workflow:
-    """Parse a simple DOT digraph (nextflow ``-with-dag`` flavour).
+    """Parse a DOT digraph (nextflow ``-with-dag`` flavour).
 
-    Recognized attributes: ``work``, ``memory`` on nodes, ``cost``
-    (or ``weight``) on edges; everything else is ignored. Unweighted
-    elements get the defaults work=1, memory=0, cost=0 — matching the
-    paper's handling of tasks without historical data.
+    Delegates to the hardened importer in :mod:`repro.ingest.dot`:
+    quoted identifiers with spaces and escapes, ``//``/``#``/``/* */``
+    comments, edge chains, and node-only statements all work, and an
+    unparsable line raises :class:`~repro.utils.errors.IngestError`
+    instead of returning a silently empty workflow. Recognized
+    attributes: ``work``, ``memory`` on nodes, ``cost`` (or ``weight``)
+    on edges; unweighted elements get the defaults work=1, memory=0,
+    cost=0 — matching the paper's handling of tasks without historical
+    data.
     """
-    wf = Workflow(name)
-    for raw in text.splitlines():
-        line = raw.strip()
-        if not line or line.startswith(("digraph", "{", "}", "//", "#", "graph", "node", "edge")):
-            continue
-        m = _EDGE_RE.match(line)
-        if m:
-            u, v, attr_text = m.group(1), m.group(2), m.group(3) or ""
-            attrs = _parse_attrs(attr_text)
-            cost = attrs.get("cost", attrs.get("weight", 0.0))
-            if u not in wf:
-                wf.add_task(u)
-            if v not in wf:
-                wf.add_task(v)
-            wf.add_edge(u, v, cost)
-            continue
-        m = _NODE_RE.match(line)
-        if m:
-            u, attr_text = m.group(1), m.group(2) or ""
-            attrs = _parse_attrs(attr_text)
-            wf.add_task(u, attrs.get("work", 1.0), attrs.get("memory", 0.0))
-    return wf
+    from repro.ingest.dot import import_dot
+
+    return import_dot(text, name=name)
 
 
 def _key(u: Any) -> Any:

@@ -1,0 +1,200 @@
+"""End-to-end ingestion: scenario sources, checksums, CLI, cache reuse."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    FileWorkflowSource,
+    ScenarioSpec,
+    TemplateWorkflowSource,
+    open_cache,
+    run_scenario,
+)
+from repro.api.scenario import AlgorithmSpec, PlatformAxis, source_from_dict
+from repro.cli import main
+from repro.ingest import ingest_path, workflow_fingerprint
+
+TRACES = Path(__file__).resolve().parent.parent / "examples" / "traces"
+
+
+class TestFileSource:
+    def test_any_format_via_sniffing(self):
+        src = FileWorkflowSource(path=str(TRACES / "montage.dax"))
+        (inst,) = src.instances()
+        assert inst.workflow.n_tasks == 10
+        assert inst.category == "file"
+
+    def test_forced_format(self):
+        src = FileWorkflowSource(path=str(TRACES / "cyclesweep.csv"),
+                                 format="edgelist")
+        (inst,) = src.instances()
+        assert inst.workflow.n_tasks == 7
+
+    def test_checksum_pin_accepts_matching(self):
+        path = str(TRACES / "rnaseq.dot")
+        pin = workflow_fingerprint(ingest_path(path))
+        src = FileWorkflowSource(path=path, checksum=pin)
+        (inst,) = src.instances()
+        assert inst.workflow.name == "rnaseq (salmon)"
+
+    def test_checksum_pin_rejects_edited_trace(self, tmp_path):
+        copy = tmp_path / "t.dot"
+        copy.write_text((TRACES / "rnaseq.dot").read_text())
+        pin = workflow_fingerprint(ingest_path(str(copy)))
+        copy.write_text(copy.read_text().replace("work=4.5", "work=9.9"))
+        src = FileWorkflowSource(path=str(copy), checksum=pin)
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            list(src.instances())
+
+    def test_round_trip_through_dict(self):
+        src = FileWorkflowSource(path="x.dax", format="dax", checksum="abc",
+                                 category="trace", family="montage")
+        assert source_from_dict(src.to_dict()) == src
+
+    def test_name_is_path_independent_for_cache_keys(self, tmp_path):
+        # two copies of the same trace in different directories must
+        # produce identical instances (same request fingerprint)
+        copy = tmp_path / "montage.dax"
+        copy.write_text((TRACES / "montage.dax").read_text())
+        (a,) = FileWorkflowSource(path=str(TRACES / "montage.dax")).instances()
+        (b,) = FileWorkflowSource(path=str(copy)).instances()
+        assert a.workflow.name == b.workflow.name == "montage"
+        assert workflow_fingerprint(a.workflow) == \
+            workflow_fingerprint(b.workflow)
+
+
+class TestTemplateSource:
+    def test_inline_data(self):
+        src = TemplateWorkflowSource(
+            path=str(TRACES / "variant_calling.tpl"),
+            data={"cohort": "pair", "samples": [
+                {"id": "a", "reads": 1, "depth": 1},
+                {"id": "b", "reads": 2, "depth": 2}]})
+        (inst,) = src.instances()
+        assert inst.workflow.name == "variant-calling-pair"
+        assert inst.workflow.n_tasks == 9
+        assert inst.category == "template"
+
+    def test_data_path(self):
+        src = TemplateWorkflowSource(
+            path=str(TRACES / "variant_calling.tpl"),
+            data_path=str(TRACES / "variant_calling.data.json"))
+        (inst,) = src.instances()
+        assert inst.workflow.n_tasks == 12
+
+    def test_both_data_and_data_path_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            TemplateWorkflowSource(path="x.tpl", data={"a": 1},
+                                   data_path="d.json")
+
+    def test_round_trip_preserves_nested_data(self):
+        src = TemplateWorkflowSource(
+            path="x.tpl", data={"samples": [{"id": "a", "sizes": [1, 2]}]})
+        back = source_from_dict(json.loads(json.dumps(src.to_dict())))
+        assert back == src
+        assert back.data["samples"][0]["sizes"] == [1, 2]
+
+
+class TestScenarioCacheReuse:
+    def test_second_run_all_hits(self, tmp_path):
+        spec = ScenarioSpec(
+            name="ingest-cache",
+            workflows=(
+                FileWorkflowSource(path=str(TRACES / "rnaseq.dot")),
+                TemplateWorkflowSource(
+                    path=str(TRACES / "variant_calling.tpl"),
+                    data_path=str(TRACES / "variant_calling.data.json")),
+            ),
+            platforms=(PlatformAxis(preset="default", bandwidths=(1.0,)),),
+            algorithms=(AlgorithmSpec("heftlist"),),
+        )
+        cache_uri = f"sqlite:///{tmp_path / 'c.db'}"
+        cache = open_cache(cache_uri)
+        try:
+            list(run_scenario(spec, cache=cache))
+            first = dict(cache.stats())
+            list(run_scenario(spec, cache=cache))
+            second = dict(cache.stats())
+        finally:
+            cache.close()
+        assert first["misses"] == 2
+        assert second["hits"] == first["hits"] + 2
+        assert second["misses"] == first["misses"]  # zero new misses
+
+
+class TestCliIngest:
+    def test_summary_line(self, capsys):
+        rc = main(["ingest", str(TRACES / "montage.dax")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "format=dax" in out
+        assert "fingerprint=" in out
+
+    def test_stats_flag(self, capsys):
+        rc = main(["ingest", str(TRACES / "epigenomics.wfformat.json"),
+                   "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "depth" in out
+        assert "wfcommons" in out
+
+    def test_output_writes_canonical_json(self, tmp_path, capsys):
+        out_path = tmp_path / "wf.json"
+        rc = main(["ingest", str(TRACES / "cyclesweep.csv"),
+                   "--format", "edgelist", "-o", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert len(data["tasks"]) == 7
+
+    def test_template_with_data(self, capsys):
+        rc = main(["ingest", str(TRACES / "variant_calling.tpl"),
+                   "--data", str(TRACES / "variant_calling.data.json")])
+        assert rc == 0
+        assert "variant-calling-trio" in capsys.readouterr().out
+
+    def test_validate_rejects_broken_fixture(self, capsys):
+        rc = main(["ingest", str(TRACES / "broken_duplicate.json"),
+                   "--validate"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "duplicate task id" in err
+
+    def test_validate_accepts_good_sample(self, capsys):
+        rc = main(["ingest", str(TRACES / "rnaseq.dot"), "--validate"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unit_scaling_flags(self, capsys):
+        rc = main(["ingest", str(TRACES / "epigenomics.wfformat.json"),
+                   "--memory-scale", str(1.0 / 2 ** 30), "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # 1 GiB peak becomes 1.0 abstract units
+        import re
+        assert re.search(r"memory_max\s*: 1\n", out)
+
+    def test_unknown_format_lists_valid(self, capsys):
+        rc = main(["ingest", str(TRACES / "rnaseq.dot"),
+                   "--format", "nope"])
+        assert rc == 1
+        assert "wfcommons" in capsys.readouterr().err
+
+    def test_missing_file_is_error_not_traceback(self, capsys):
+        rc = main(["ingest", "no/such/file.dot"])
+        assert rc == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_repeated_ingest_output_bit_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            rc = main(["ingest", str(TRACES / "montage.dax"),
+                       "-o", str(out)])
+            assert rc == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_schedule_accepts_ingested_formats(self, capsys):
+        rc = main(["schedule", "--workflow", str(TRACES / "rnaseq.dot")])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out

@@ -1,0 +1,185 @@
+"""Template renderer tests: substitution, loops, YAML subset, building."""
+
+import pytest
+
+from repro.ingest import (
+    build_from_document,
+    ingest_text,
+    parse_structured,
+    render_template,
+    workflow_fingerprint,
+)
+from repro.utils.errors import IngestError
+
+
+class TestRender:
+    def test_variable_substitution(self):
+        assert render_template("hello {{who}}", {"who": "world"}) == \
+            "hello world\n"
+
+    def test_dotted_and_indexed_lookup(self):
+        data = {"s": {"name": "a", "sizes": [10, 20]}}
+        assert render_template("{{s.name}}:{{s.sizes.1}}", data) == "a:20\n"
+
+    def test_for_block_expansion(self):
+        text = "{% for x in items %}\n- {{x}}\n{% endfor %}"
+        assert render_template(text, {"items": [1, 2, 3]}) == \
+            "- 1\n- 2\n- 3\n"
+
+    def test_nested_for_blocks(self):
+        text = ("{% for a in outer %}\n{% for b in inner %}\n"
+                "{{a}}{{b}}\n{% endfor %}\n{% endfor %}")
+        out = render_template(text, {"outer": ["x", "y"], "inner": [1, 2]})
+        assert out == "x1\nx2\ny1\ny2\n"
+
+    def test_undefined_variable_is_loud(self):
+        with pytest.raises(IngestError, match="(?s)ghost.*available"):
+            render_template("{{ghost}}", {"real": 1})
+
+    def test_undefined_variable_names_line(self):
+        with pytest.raises(IngestError, match="t.tpl:3"):
+            render_template("a\nb\n{{nope}}", {}, path="t.tpl")
+
+    def test_unclosed_for_rejected(self):
+        with pytest.raises(IngestError, match="endfor"):
+            render_template("{% for x in xs %}\nbody", {"xs": []})
+
+    def test_stray_endfor_rejected(self):
+        with pytest.raises(IngestError, match="without a matching"):
+            render_template("{% endfor %}", {})
+
+    def test_for_over_non_list_rejected(self):
+        with pytest.raises(IngestError, match="needs a list"):
+            render_template("{% for x in xs %}\n{% endfor %}", {"xs": 3})
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(IngestError, match="unrecognized"):
+            render_template("{% if x %}", {})
+
+    def test_non_mapping_data_rejected(self):
+        with pytest.raises(IngestError, match="mapping"):
+            render_template("x", [1, 2])
+
+    def test_deterministic(self):
+        text = "{% for s in ss %}\n{{s}} {{k}}\n{% endfor %}"
+        data = {"ss": ["p", "q"], "k": 7}
+        assert render_template(text, data) == render_template(text, data)
+
+
+class TestYamlSubset:
+    def test_mapping_and_nested_list(self):
+        doc = parse_structured(
+            "name: demo\ntasks:\n  - id: a\n    work: 2\n  - id: b\n")
+        assert doc == {"name": "demo",
+                       "tasks": [{"id": "a", "work": 2}, {"id": "b"}]}
+
+    def test_inline_lists_and_scalars(self):
+        doc = parse_structured(
+            "deps: [a, b, 3]\nflag: true\nnothing: null\nratio: 1.5\n")
+        assert doc == {"deps": ["a", "b", 3], "flag": True,
+                       "nothing": None, "ratio": 1.5}
+
+    def test_quoted_strings_keep_specials(self):
+        doc = parse_structured('label: "x: y # z"\n')
+        assert doc == {"label": "x: y # z"}
+
+    def test_comments_stripped(self):
+        doc = parse_structured("# header\na: 1  # trailing\n")
+        assert doc == {"a": 1}
+
+    def test_json_documents_accepted(self):
+        assert parse_structured('{"a": [1, 2]}') == {"a": [1, 2]}
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(IngestError, match="tab"):
+            parse_structured("a:\n\tb: 1\n")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(IngestError, match="duplicate key"):
+            parse_structured("a: 1\na: 2\n")
+
+    def test_unparsable_line_named(self):
+        with pytest.raises(IngestError, match="d.yaml:2"):
+            parse_structured("a: 1\n!!!\n", path="d.yaml")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(IngestError, match="empty"):
+            parse_structured("# only a comment\n")
+
+
+class TestBuild:
+    def test_after_and_before_directives(self):
+        doc = {"name": "w", "tasks": [
+            {"id": "a", "work": 2},
+            {"id": "b", "after": "a", "cost": 3},
+            {"id": "c", "before": "b"},
+        ]}
+        wf = build_from_document(doc)
+        assert wf.edge_cost("a", "b") == 3.0
+        assert wf.edge_cost("c", "b") == 0.0
+
+    def test_after_list(self):
+        doc = {"tasks": [{"id": "a"}, {"id": "b"},
+                         {"id": "c", "after": ["a", "b"]}]}
+        wf = build_from_document(doc)
+        assert wf.in_degree("c") == 2
+
+    def test_unknown_after_target_rejected(self):
+        doc = {"tasks": [{"id": "a", "after": "ghost"}]}
+        with pytest.raises(IngestError, match="ghost"):
+            build_from_document(doc)
+
+    def test_duplicate_id_rejected(self):
+        doc = {"tasks": [{"id": "a"}, {"id": "a"}]}
+        with pytest.raises(IngestError, match="duplicate"):
+            build_from_document(doc)
+
+    def test_unknown_field_rejected(self):
+        doc = {"tasks": [{"id": "a", "wrok": 2}]}
+        with pytest.raises(IngestError, match="wrok"):
+            build_from_document(doc)
+
+    def test_non_numeric_work_rejected(self):
+        doc = {"tasks": [{"id": "a", "work": "big"}]}
+        with pytest.raises(IngestError, match="number"):
+            build_from_document(doc)
+
+
+class TestEndToEnd:
+    TEMPLATE = (
+        "name: pipe-{{tag}}\n"
+        "tasks:\n"
+        "  - id: prep\n"
+        "{% for s in samples %}\n"
+        "  - id: run_{{s}}\n"
+        "    work: 2\n"
+        "    after: prep\n"
+        "{% endfor %}\n"
+        "  - id: merge\n"
+        "    after: [{{samples.0}}_sentinel]\n"
+    )
+
+    def test_template_ingest_expands_deterministically(self):
+        template = self.TEMPLATE.replace(
+            "after: [{{samples.0}}_sentinel]", "after: [run_a, run_b]")
+        data = {"tag": "t1", "samples": ["a", "b"]}
+        wf1 = ingest_text(template, fmt="template", data=data)
+        wf2 = ingest_text(template, fmt="template", data=data)
+        assert wf1.name == "pipe-t1"
+        assert sorted(wf1.tasks()) == ["merge", "prep", "run_a", "run_b"]
+        assert workflow_fingerprint(wf1) == workflow_fingerprint(wf2)
+
+    def test_dangling_rendered_reference_is_loud(self):
+        data = {"tag": "t1", "samples": ["a"]}
+        with pytest.raises(IngestError, match="a_sentinel"):
+            ingest_text(self.TEMPLATE, fmt="template", data=data)
+
+    def test_cycle_after_rendering_is_caught(self):
+        template = ("tasks:\n  - id: a\n    after: b\n"
+                    "  - id: b\n    after: a\n")
+        with pytest.raises(IngestError, match="cycle"):
+            ingest_text(template, fmt="template")
+
+    def test_data_only_for_templates(self):
+        with pytest.raises(IngestError, match="--data"):
+            ingest_text("digraph g { a -> b; }", fmt="dot", data={"x": 1})

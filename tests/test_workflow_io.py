@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.utils.errors import IngestError
 from repro.workflow.graph import Workflow
 from repro.workflow.io import (
     load_workflow_json,
@@ -33,6 +34,23 @@ class TestJson:
         wf = workflow_from_dict({"tasks": [{"id": "a"}], "edges": []})
         assert wf.work("a") == 1.0
         assert wf.memory("a") == 0.0
+
+    def test_duplicate_task_id_fails_loudly(self):
+        with pytest.raises(IngestError, match="duplicate task id 'a'"):
+            workflow_from_dict({"tasks": [{"id": "a"}, {"id": "a"}],
+                                "edges": []})
+
+    def test_edge_to_unknown_task_fails_loudly(self):
+        with pytest.raises(IngestError, match="'ghost'"):
+            workflow_from_dict(
+                {"tasks": [{"id": "a"}],
+                 "edges": [{"source": "a", "target": "ghost"}]})
+
+    def test_load_names_offending_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"tasks": [{"id": 1}, {"id": 1}], "edges": []}')
+        with pytest.raises(IngestError, match="bad.json"):
+            load_workflow_json(path)
 
 
 class TestDot:
@@ -77,3 +95,15 @@ class TestDot:
     def test_weight_attribute_alias(self):
         wf = workflow_from_dot('digraph g {\n a -> b [weight=3];\n}')
         assert wf.edge_cost("a", "b") == 3.0
+
+    def test_quoted_identifiers_with_spaces(self):
+        wf = workflow_from_dot('digraph g { "fastqc raw" -> "trim"; }')
+        assert "fastqc raw" in wf
+
+    def test_unparsable_line_raises_not_silent_empty(self):
+        with pytest.raises(IngestError):
+            workflow_from_dot("digraph g {\n a -> b;\n !garbage!;\n}")
+
+    def test_shim_keeps_legacy_default_name(self):
+        wf = workflow_from_dot('digraph "internal name" { a -> b; }')
+        assert wf.name == "workflow"
